@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 10 experiment: each stream kernel
+//! simulated end-to-end under OrderLight and fence (reduced job size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orderlight_bench::BENCH_DATA_BYTES;
+use orderlight_pim::TsSize;
+use orderlight_sim::config::ExecMode;
+use orderlight_sim::experiments::run_point;
+use orderlight_workloads::{OrderingMode, WorkloadId};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_stream");
+    g.sample_size(10);
+    for wl in WorkloadId::STREAMS {
+        for (label, mode) in
+            [("orderlight", OrderingMode::OrderLight), ("fence", OrderingMode::Fence)]
+        {
+            g.bench_function(format!("{wl}/{label}"), |b| {
+                b.iter(|| {
+                    let p = run_point(
+                        wl,
+                        TsSize::Eighth,
+                        ExecMode::Pim(mode),
+                        16,
+                        BENCH_DATA_BYTES,
+                    )
+                    .expect("run");
+                    black_box(p.stats.command_bandwidth_gcs)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 11 micro-experiment: the analytic and
+//! micro-simulated DRAM row window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orderlight_sim::experiments::fig11;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig11_dram_window", |b| {
+        b.iter(|| {
+            let f = fig11();
+            assert_eq!(f.analytic_window, f.simulated_window);
+            black_box(f.peak_command_gcs)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

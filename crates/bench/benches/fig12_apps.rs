@@ -1,0 +1,35 @@
+//! Criterion bench for the Figure 12 experiment: each application
+//! kernel simulated end-to-end under OrderLight (reduced job size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orderlight_bench::BENCH_DATA_BYTES;
+use orderlight_pim::TsSize;
+use orderlight_sim::config::ExecMode;
+use orderlight_sim::experiments::run_point;
+use orderlight_workloads::{OrderingMode, WorkloadId};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_apps");
+    g.sample_size(10);
+    for wl in WorkloadId::APPS {
+        g.bench_function(wl.to_string(), |b| {
+            b.iter(|| {
+                let p = run_point(
+                    wl,
+                    TsSize::Eighth,
+                    ExecMode::Pim(OrderingMode::OrderLight),
+                    16,
+                    BENCH_DATA_BYTES,
+                )
+                .expect("run");
+                assert!(p.stats.is_correct(), "{wl} must verify");
+                black_box(p.stats.exec_time_ms)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

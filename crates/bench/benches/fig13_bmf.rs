@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 13 experiment: the Add kernel across
+//! bandwidth multiplication factors (reduced job size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orderlight_bench::BENCH_DATA_BYTES;
+use orderlight_pim::TsSize;
+use orderlight_sim::config::ExecMode;
+use orderlight_sim::experiments::run_point;
+use orderlight_workloads::{OrderingMode, WorkloadId};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_bmf");
+    g.sample_size(10);
+    for bmf in [4u32, 8, 16] {
+        g.bench_function(format!("bmf{bmf}"), |b| {
+            b.iter(|| {
+                let p = run_point(
+                    WorkloadId::Add,
+                    TsSize::Eighth,
+                    ExecMode::Pim(OrderingMode::OrderLight),
+                    bmf,
+                    BENCH_DATA_BYTES,
+                )
+                .expect("run");
+                black_box(p.stats.exec_time_ms)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

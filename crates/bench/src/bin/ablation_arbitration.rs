@@ -1,0 +1,30 @@
+//! Arbitration-granularity ablation (paper Sections 3.2/3.5): what
+//! coarse-grained arbitration costs the host.
+//!
+//! Under fine-grained arbitration the memory controller interleaves host
+//! requests with PIM commands (and OrderLight packets never constrain
+//! the host's memory group). Under coarse-grained arbitration the host
+//! is locked out of memory for the entire PIM computation.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::ablation_arbitration;
+
+fn main() {
+    let data = report_data_bytes();
+    println!("Arbitration-granularity ablation, {} KiB/structure/channel\n", data / 1024);
+    let a = ablation_arbitration(data).expect("ablation runs");
+    println!(
+        "  fine-grained arbitration : mean host read service latency = {:.0} memory cycles",
+        a.fga_mean_host_latency
+    );
+    println!(
+        "  coarse-grained arbitration: host blocked for the whole PIM kernel = {} core cycles",
+        a.cga_host_wait_cycles
+    );
+    let factor = a.cga_host_wait_cycles as f64 / a.fga_mean_host_latency.max(1.0);
+    println!(
+        "\n  a host access issued at PIM-kernel launch waits ~{factor:.0}x longer under CGA"
+    );
+    println!("  (CGO/CGA designs render system memory inaccessible to the host during PIM");
+    println!("  computation — paper Section 3.2, Figure 2a)");
+}

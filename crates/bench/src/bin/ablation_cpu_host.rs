@@ -1,0 +1,30 @@
+//! CPU-host applicability study (paper Conclusion): the OrderLight
+//! mechanism mapped onto an out-of-order CPU host — reservation
+//! stations play the operand collector's role, the uncore path is much
+//! shorter than a GPU's memory pipe, but a fence still costs a
+//! core-to-memory round trip on the order of 100 cycles.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_pim::TsSize;
+use orderlight_sim::experiments::ablation_cpu_host;
+
+fn main() {
+    let data = report_data_bytes();
+    println!("OoO-CPU host, Add kernel, TS=1/8 RB, {} KiB/structure/channel\n", data / 1024);
+    let rows = ablation_cpu_host(data, TsSize::Eighth).expect("study runs");
+    for r in &rows {
+        println!(
+            "  {:<16}: {:>8.4} ms | {:>4.0} wait cycles/fence | {}",
+            r.label,
+            r.exec_time_ms,
+            r.wait_per_fence,
+            if r.correct { "correct" } else { "WRONG" }
+        );
+    }
+    let fence = rows[0].exec_time_ms;
+    let ol = rows[1].exec_time_ms;
+    println!("\n  OrderLight speedup on the CPU host: {:.1}x", fence / ol);
+    println!("  The gap is smaller than on the GPU host (shorter uncore round trip),");
+    println!("  but the fence still pays ~100+ cycles per phase boundary — the paper's");
+    println!("  conclusion that the primitive transfers to OoO hosts.");
+}

@@ -1,0 +1,35 @@
+//! Scheduler-knob ablation: the memory-controller design choices
+//! DESIGN.md calls out (FR-FCFS scan depth, per-bank command-queue
+//! capacity) swept under OrderLight on the Add kernel.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::ablation_scheduler;
+use orderlight_sim::report::{f3, format_table};
+
+fn main() {
+    let data = report_data_bytes();
+    println!("Controller scheduler knobs, Add kernel, OrderLight, {} KiB/structure/channel\n", data / 1024);
+    let rows = ablation_scheduler(data).expect("ablation runs");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                f3(r.pim_command_gcs),
+                f3(r.host_exec_ms),
+                r.host_activates.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["knob", "PIM OL cmd GC/s", "host exec ms", "host row activations"],
+            &table
+        )
+    );
+    println!("\nThe ordered PIM stream is knob-insensitive — OrderLight barriers already");
+    println!("pin its schedule. The host stream needs the FR-FCFS scan window for bank");
+    println!("parallelism and row locality; the defaults (scan 16, bank queue 4) sit on");
+    println!("the plateau.");
+}

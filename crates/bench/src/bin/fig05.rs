@@ -1,0 +1,60 @@
+//! Regenerates paper Figure 5: fence overhead for the vector-add kernel.
+//!
+//! Bars: execution time for {no ordering (functionally incorrect),
+//! fence at TS = 1/16, 1/8, 1/4, 1/2 of the row buffer}; line: waiting
+//! cycles per fence instruction.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::fig05;
+use orderlight_sim::report::{bar_chart, f3, format_table};
+
+fn main() {
+    let data = report_data_bytes();
+    println!("Figure 5 — fence overhead, vector_add (Add), BMF=16, {} KiB/structure/channel\n", data / 1024);
+    let rows = fig05(data).expect("figure 5 sweep");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| {
+            let label = if p.mode == "pim-none" { "No Fence".to_string() } else { format!("Fence {}", p.ts) };
+            vec![
+                label,
+                f3(p.stats.exec_time_ms),
+                format!("{:.0}", p.stats.wait_cycles_per_fence()),
+                if p.stats.is_correct() {
+                    "yes".to_string()
+                } else {
+                    "FUNCTIONALLY INCORRECT".to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["config", "exec time (ms)", "wait cycles / fence", "correct"],
+            &table
+        )
+    );
+    let bars: Vec<(String, f64)> = rows
+        .iter()
+        .map(|p| {
+            let label = if p.mode == "pim-none" {
+                "No Fence (WRONG)".to_string()
+            } else {
+                format!("Fence {}", p.ts)
+            };
+            (label, p.stats.exec_time_ms)
+        })
+        .collect();
+    println!("\nexecution time (ms):\n{}", bar_chart(&bars, 50));
+
+    let no_fence = rows[0].stats.exec_time_ms;
+    let worst = rows[1..].iter().map(|p| p.stats.exec_time_ms).fold(0.0f64, f64::max);
+    let best = rows[1..].iter().map(|p| p.stats.exec_time_ms).fold(f64::MAX, f64::min);
+    println!(
+        "\nfence slowdown vs unordered issue: {:.1}x (largest TS) to {:.1}x (smallest TS)",
+        best / no_fence,
+        worst / no_fence
+    );
+    println!("(paper reports 4.5x to 25x)");
+}

@@ -1,0 +1,80 @@
+//! Regenerates paper Figure 10b: execution time and core stall cycles
+//! for the stream benchmark — GPU baseline vs fence vs OrderLight.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::fig10;
+use orderlight_sim::report::{f3, format_table, speedup};
+use std::collections::BTreeMap;
+
+/// `(kernel, TS)` -> per-mode measurements.
+type Cells = BTreeMap<(String, String), [Option<(f64, u64)>; 2]>;
+
+fn main() {
+    let data = report_data_bytes();
+    println!(
+        "Figure 10b — stream benchmark: execution time and core stall cycles, BMF=16, {} KiB/structure/channel\n",
+        data / 1024
+    );
+    let rows = fig10(data).expect("figure 10 sweep");
+    let mut gpu: BTreeMap<String, f64> = BTreeMap::new();
+    let mut cells: Cells = BTreeMap::new();
+    for p in &rows {
+        match p.mode.as_str() {
+            "gpu" => {
+                gpu.insert(p.workload.clone(), p.stats.exec_time_ms);
+            }
+            "pim-fence" => {
+                cells.entry((p.workload.clone(), p.ts.clone())).or_default()[0] =
+                    Some((p.stats.exec_time_ms, p.stats.stall_cycles()));
+            }
+            "pim-orderlight" => {
+                cells.entry((p.workload.clone(), p.ts.clone())).or_default()[1] =
+                    Some((p.stats.exec_time_ms, p.stats.stall_cycles()));
+            }
+            _ => {}
+        }
+    }
+    let order = ["Scale", "Copy", "Daxpy", "Triad", "Add"];
+    let ts_order = ["1/16 RB", "1/8 RB", "1/4 RB", "1/2 RB"];
+    let mut table = Vec::new();
+    let mut ol_vs_gpu: Vec<f64> = Vec::new();
+    for wl in order {
+        let g = gpu.get(wl).copied().unwrap_or(0.0);
+        for ts in ts_order {
+            let Some(c) = cells.get(&(wl.to_string(), ts.to_string())) else { continue };
+            let (f_ms, f_stall) = c[0].unwrap_or((0.0, 0));
+            let (o_ms, o_stall) = c[1].unwrap_or((0.0, 0));
+            ol_vs_gpu.push(g / o_ms);
+            table.push(vec![
+                wl.to_string(),
+                ts.to_string(),
+                f3(g),
+                f3(f_ms),
+                f3(o_ms),
+                f_stall.to_string(),
+                o_stall.to_string(),
+                speedup(g, o_ms),
+                speedup(f_ms, o_ms),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "kernel",
+                "TS",
+                "GPU ms",
+                "fence ms",
+                "OL ms",
+                "fence stalls",
+                "OL stalls",
+                "OL vs GPU",
+                "OL vs fence"
+            ],
+            &table
+        )
+    );
+    let avg = ol_vs_gpu.iter().sum::<f64>() / ol_vs_gpu.len() as f64;
+    println!("\nmean OrderLight speedup over the GPU baseline: {avg:.1}x (paper: 3.5x to 7.4x on average across TS sizes)");
+}

@@ -1,0 +1,77 @@
+//! Regenerates paper Figure 12: execution-time improvement of
+//! OrderLight over fence for the data-intensive application kernels,
+//! plus the ordering-primitives-per-PIM-instruction line.
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::fig12;
+use orderlight_sim::report::{bar_chart, f3, format_table, speedup};
+use std::collections::BTreeMap;
+
+/// `(kernel, TS)` -> per-mode measurements.
+type Cells = BTreeMap<(String, String), [Option<(f64, f64)>; 2]>;
+
+fn main() {
+    let data = report_data_bytes();
+    println!(
+        "Figure 12 — application kernels: fence vs OrderLight, BMF=16, {} KiB/structure/channel\n",
+        data / 1024
+    );
+    let rows = fig12(data).expect("figure 12 sweep");
+    let mut cells: Cells = BTreeMap::new();
+    for p in &rows {
+        let i = usize::from(p.mode == "pim-orderlight");
+        cells.entry((p.workload.clone(), p.ts.clone())).or_default()[i] =
+            Some((p.stats.exec_time_ms, p.stats.primitives_per_pim_instr));
+    }
+    let order = ["BN_Fwd", "BN_Bwd", "FC", "KMeans", "SVM", "Hist", "Gen_Fil"];
+    let ts_order = ["1/16 RB", "1/8 RB", "1/4 RB", "1/2 RB"];
+    let mut table = Vec::new();
+    let mut improvements = Vec::new();
+    for wl in order {
+        for ts in ts_order {
+            let Some(c) = cells.get(&(wl.to_string(), ts.to_string())) else { continue };
+            let (f_ms, _) = c[0].unwrap_or((0.0, 0.0));
+            let (o_ms, prim) = c[1].unwrap_or((0.0, 0.0));
+            if o_ms > 0.0 {
+                improvements.push(f_ms / o_ms);
+            }
+            table.push(vec![
+                wl.to_string(),
+                ts.to_string(),
+                f3(f_ms),
+                f3(o_ms),
+                speedup(f_ms, o_ms),
+                format!("{prim:.3}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["kernel", "TS", "fence ms", "OL ms", "OL vs fence", "primitives / PIM instr"],
+            &table
+        )
+    );
+    // The paper's headline bars: OL-vs-fence improvement per kernel at
+    // the 1/8 RB design point.
+    let bars: Vec<(String, f64)> = order
+        .iter()
+        .filter_map(|wl| {
+            let c = cells.get(&((*wl).to_string(), "1/8 RB".to_string()))?;
+            let (f_ms, _) = c[0]?;
+            let (o_ms, _) = c[1]?;
+            Some(((*wl).to_string(), f_ms / o_ms))
+        })
+        .collect();
+    println!("\nOrderLight improvement over fence at 1/8 RB (x):\n{}", bar_chart(&bars, 40));
+
+    let lo = improvements.iter().copied().fold(f64::MAX, f64::min);
+    let hi = improvements.iter().copied().fold(0.0f64, f64::max);
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!(
+        "\nOrderLight improvement over fence: {lo:.1}x to {hi:.1}x (mean {avg:.1}x); paper reports 5.5x to 8.5x"
+    );
+    println!("note the primitives/instruction column: it halves per TS doubling for the");
+    println!("elementwise kernels but shrinks much more slowly for FC/KMeans and not at");
+    println!("all for Gen_Fil (the paper's rate-of-decrease observation).");
+}

@@ -1,0 +1,39 @@
+//! Dumps the full design-space sweep (Figures 10, 12 and 13) as CSV on
+//! stdout — machine-readable results for external plotting.
+//!
+//! ```text
+//! cargo run --release -p orderlight-bench --bin sweep_csv > sweep.csv
+//! ```
+
+use orderlight_bench::report_data_bytes;
+use orderlight_sim::experiments::{fig10, fig12, fig13, SweepPoint};
+
+fn emit(rows: &[SweepPoint], figure: &str) {
+    for p in rows {
+        let s = &p.stats;
+        println!(
+            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{}",
+            p.workload,
+            p.ts.replace(' ', ""),
+            p.mode,
+            p.bmf,
+            s.exec_time_ms,
+            s.command_bandwidth_gcs,
+            s.data_bandwidth_gbs,
+            s.stall_cycles(),
+            s.sm.fences + s.sm.orderlights,
+            s.primitives_per_pim_instr,
+            if s.is_correct() { "pass" } else { "FAIL" },
+        );
+    }
+}
+
+fn main() {
+    let data = report_data_bytes();
+    println!(
+        "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified"
+    );
+    emit(&fig10(data).expect("fig10"), "fig10");
+    emit(&fig12(data).expect("fig12"), "fig12");
+    emit(&fig13(data).expect("fig13"), "fig13");
+}

@@ -1,0 +1,11 @@
+//! Echoes paper Table 1: the simulator configuration in force.
+
+use orderlight_sim::experiments::table1;
+use orderlight_sim::report::format_table;
+
+fn main() {
+    println!("Table 1 — simulator configuration\n");
+    let rows: Vec<Vec<String>> =
+        table1().into_iter().map(|(k, v)| vec![k, v]).collect();
+    println!("{}", format_table(&["parameter", "value"], &rows));
+}

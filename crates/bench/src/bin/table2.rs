@@ -1,0 +1,39 @@
+//! Echoes paper Table 2: the workload suite, with the structural
+//! compute/memory counts of our kernel specifications alongside the
+//! paper's ratios.
+
+use orderlight_sim::report::format_table;
+use orderlight_workloads::WorkloadId;
+
+fn main() {
+    println!("Table 2 — workload summary\n");
+    let rows: Vec<Vec<String>> = WorkloadId::ALL
+        .iter()
+        .map(|id| {
+            let m = id.meta();
+            let (c, mem) = id.spec().ops_per_stripe();
+            vec![
+                m.name.to_string(),
+                m.description.to_string(),
+                m.ratio.to_string(),
+                format!("{c}:{mem}"),
+                if m.multi_structure { "Yes" } else { "No" }.to_string(),
+                format!("{:?}", m.suite),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "kernel",
+                "description",
+                "paper C:M",
+                "spec C:M",
+                ">1 structure",
+                "suite"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,85 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a raw [`crate::packet::OrderLightPacket`]
+/// bit pattern fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The 2-bit packet-type field did not contain the OrderLight marker.
+    BadPacketId {
+        /// The packet-type bits that were found.
+        found: u8,
+    },
+    /// More memory-group extensions than the wire format supports.
+    TooManyGroups {
+        /// Number of extra groups requested.
+        requested: usize,
+        /// Maximum number of extra groups supported.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::BadPacketId { found } => {
+                write!(f, "packet-type bits {found:#04b} are not an OrderLight packet")
+            }
+            PacketError::TooManyGroups { requested, max } => {
+                write!(f, "{requested} extra memory-groups requested, at most {max} supported")
+            }
+        }
+    }
+}
+
+impl Error for PacketError {}
+
+/// Error produced when a configuration is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given explanation.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_error_messages() {
+        let e = PacketError::BadPacketId { found: 0b01 };
+        assert!(e.to_string().contains("not an OrderLight packet"));
+        let e = PacketError::TooManyGroups { requested: 5, max: 2 };
+        assert!(e.to_string().contains("at most 2"));
+    }
+
+    #[test]
+    fn config_error_message() {
+        let e = ConfigError::new("zero channels");
+        assert_eq!(e.to_string(), "invalid configuration: zero channels");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PacketError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,384 @@
+//! The fine-grained PIM instruction set and host kernel instruction stream.
+//!
+//! A *PIM kernel* (paper Figure 4) is a host-executed stream of
+//! [`KernelInstr`]s. PIM memory instructions issued by the host are
+//! translated into fine-grained PIM commands at the memory controller; all
+//! functional semantics are defined here so that the PIM unit, the host ALU
+//! and the golden-model verifier compute bit-identical results.
+//!
+//! Every instruction operates on one 32 B [`Stripe`] (8 x `u32` SIMD
+//! lanes); arithmetic is wrapping so replay is exact.
+
+use crate::types::{Addr, MemGroupId, Stripe, TsSlot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A SIMD ALU operation performed lane-wise on `u32` values.
+///
+/// Binary operations combine the accumulator (a TS slot for PIM, a register
+/// for the host) with a memory operand; immediate operations use a constant
+/// baked into the instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `acc = mem` (pure data movement; used by the Copy kernel).
+    Mov,
+    /// `acc = acc + mem` (feature-map addition, histogram bin update, ...).
+    Add,
+    /// `acc = acc - mem`.
+    Sub,
+    /// `acc = acc * mem`.
+    Mul,
+    /// `acc = min(acc, mem)` (KMeans nearest-centre reduction).
+    Min,
+    /// `acc = max(acc, mem)` (SVM hinge clamp).
+    Max,
+    /// `acc = acc ^ mem`.
+    Xor,
+    /// `acc = acc + imm * mem` (Daxpy / Triad / fully-connected MAC).
+    AxpyImm(u32),
+    /// `acc = acc * imm` (Scale; batch-norm gamma).
+    ScaleImm(u32),
+    /// `acc = acc + imm` (batch-norm beta / bias).
+    AddImm(u32),
+    /// `acc = acc + popcount(acc ^ mem)` — Hamming-distance accumulation
+    /// used by the genomic sequence filter (GRIM-style).
+    Hamming,
+}
+
+impl AluOp {
+    /// Whether this operation reads a memory operand (versus an immediate).
+    ///
+    /// Operations without a memory operand become *execute-only* PIM
+    /// commands: they occupy command bandwidth but perform no DRAM column
+    /// access.
+    #[must_use]
+    pub fn reads_memory(self) -> bool {
+        !matches!(self, AluOp::ScaleImm(_) | AluOp::AddImm(_))
+    }
+
+    /// Number of scalar arithmetic operations the op performs per lane
+    /// (an AXPY is a multiply plus an add; a move is pure data
+    /// movement). Used for Table 2's compute:memory accounting.
+    #[must_use]
+    pub fn scalar_ops(self) -> u32 {
+        match self {
+            AluOp::Mov => 0,
+            AluOp::AxpyImm(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Applies the operation to one lane.
+    #[must_use]
+    pub fn apply_lane(self, acc: u32, mem: u32) -> u32 {
+        match self {
+            AluOp::Mov => mem,
+            AluOp::Add => acc.wrapping_add(mem),
+            AluOp::Sub => acc.wrapping_sub(mem),
+            AluOp::Mul => acc.wrapping_mul(mem),
+            AluOp::Min => acc.min(mem),
+            AluOp::Max => acc.max(mem),
+            AluOp::Xor => acc ^ mem,
+            AluOp::AxpyImm(k) => acc.wrapping_add(k.wrapping_mul(mem)),
+            AluOp::ScaleImm(k) => acc.wrapping_mul(k),
+            AluOp::AddImm(k) => acc.wrapping_add(k),
+            AluOp::Hamming => acc.wrapping_add((acc ^ mem).count_ones()),
+        }
+    }
+
+    /// Applies the operation stripe-wide.
+    ///
+    /// For immediate operations `mem` is ignored.
+    #[must_use]
+    pub fn apply(self, acc: Stripe, mem: Stripe) -> Stripe {
+        acc.zip_map(mem, |a, m| self.apply_lane(a, m))
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AluOp::AxpyImm(k) => write!(f, "axpy[{k}]"),
+            AluOp::ScaleImm(k) => write!(f, "scale[{k}]"),
+            AluOp::AddImm(k) => write!(f, "addi[{k}]"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+/// The opcode of a fine-grained PIM command (paper Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PimOp {
+    /// `TS[slot] = DRAM[addr]` — move one stripe from an activated row into
+    /// temporary storage ("PIM_Load").
+    Load,
+    /// `TS[slot] = op(TS[slot], DRAM[addr])` — fetch a memory operand and
+    /// combine it into temporary storage ("PIM_Add b to a" / fetch-and-op).
+    Compute(AluOp),
+    /// `TS[slot] = op(TS[slot], imm)` — execute-only command with no DRAM
+    /// column access (used to model high compute:memory-ratio kernels such
+    /// as KMeans' distance arithmetic).
+    Execute(AluOp),
+    /// `DRAM[addr] = TS[slot]` — store a result stripe back ("PIM_Store").
+    Store,
+}
+
+impl PimOp {
+    /// Whether the command performs a DRAM column access.
+    #[must_use]
+    pub fn accesses_dram(self) -> bool {
+        match self {
+            PimOp::Load | PimOp::Store => true,
+            PimOp::Compute(op) => op.reads_memory(),
+            PimOp::Execute(_) => false,
+        }
+    }
+
+    /// Whether the DRAM access (if any) is a write.
+    #[must_use]
+    pub fn is_dram_write(self) -> bool {
+        matches!(self, PimOp::Store)
+    }
+}
+
+/// One fine-grained PIM instruction as issued by the host.
+///
+/// The host's LDST unit sends these down the memory pipe like non-temporal
+/// loads/stores; the memory controller translates them into DRAM commands
+/// and forwards them to the PIM unit of the target channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PimInstruction {
+    /// What the PIM unit should do.
+    pub op: PimOp,
+    /// Target stripe address. For [`PimOp::Execute`] the address still
+    /// routes the command to the right channel/group but is not accessed.
+    pub addr: Addr,
+    /// Temporary-storage slot operated on.
+    pub slot: TsSlot,
+    /// Memory group the instruction belongs to (determines which OrderLight
+    /// flag constrains it at the controller).
+    pub group: MemGroupId,
+}
+
+impl fmt::Display for PimInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            PimOp::Load => write!(f, "pim_load {} -> ts{}", self.addr, self.slot.0),
+            PimOp::Compute(op) => {
+                write!(f, "pim_{op} ts{}, {}", self.slot.0, self.addr)
+            }
+            PimOp::Execute(op) => write!(f, "pim_exec_{op} ts{}", self.slot.0),
+            PimOp::Store => write!(f, "pim_store ts{} -> {}", self.slot.0, self.addr),
+        }
+    }
+}
+
+/// A host register index (used only by the conventional-GPU baseline path).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An ordering primitive in the host instruction stream (paper Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderingInstr {
+    /// A traditional core-centric fence: the warp stalls until the memory
+    /// controller acknowledges that every prior PIM request has been issued
+    /// to the DRAM command queues.
+    Fence,
+    /// The OrderLight primitive: inject an OrderLight packet for `group`
+    /// down the memory pipe and continue issuing without stalling (the
+    /// packet is released once the operand collector's PIM counter drains).
+    OrderLight {
+        /// Memory group whose requests must not be reordered across the
+        /// packet.
+        group: MemGroupId,
+    },
+}
+
+/// One instruction of a host kernel.
+///
+/// PIM kernels are streams of [`KernelInstr::Pim`] and
+/// [`KernelInstr::Ordering`]; the conventional-GPU baseline uses the
+/// `Load`/`Compute`/`Store` forms whose ordering is enforced by register
+/// dependences at the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelInstr {
+    /// Issue a fine-grained PIM instruction down the memory pipe.
+    Pim(PimInstruction),
+    /// Enforce ordering among previously issued PIM instructions.
+    Ordering(OrderingInstr),
+    /// Conventional load: `reg = DRAM[addr]`, data returns to the core.
+    Load {
+        /// Target stripe address.
+        addr: Addr,
+        /// Destination register.
+        reg: Reg,
+    },
+    /// Conventional in-core SIMD compute: `dst = op(a, mem=b)`.
+    Compute {
+        /// ALU operation (memory operand taken from register `b`).
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Accumulator source register.
+        a: Reg,
+        /// Memory-operand source register (ignored for immediate ops).
+        b: Reg,
+    },
+    /// Conventional store: `DRAM[addr] = reg`.
+    Store {
+        /// Target stripe address.
+        addr: Addr,
+        /// Source register.
+        reg: Reg,
+    },
+}
+
+impl KernelInstr {
+    /// Whether this instruction is a PIM memory instruction (counted for
+    /// the PIM-command-bandwidth metric).
+    #[must_use]
+    pub fn is_pim(&self) -> bool {
+        matches!(self, KernelInstr::Pim(_))
+    }
+
+    /// Whether this instruction is an ordering primitive (fence or
+    /// OrderLight).
+    #[must_use]
+    pub fn is_ordering(&self) -> bool {
+        matches!(self, KernelInstr::Ordering(_))
+    }
+}
+
+/// A lazily generated kernel instruction stream.
+///
+/// Real workloads issue millions of fine-grained PIM instructions per
+/// channel; materialising them would dominate memory, so warps pull
+/// instructions from a generator. Generators must be deterministic —
+/// the golden-model verifier replays a fresh instance of the same stream
+/// with sequential semantics.
+pub trait InstrStream {
+    /// Produces the next instruction, or `None` when the kernel is done.
+    fn next_instr(&mut self) -> Option<KernelInstr>;
+}
+
+/// The trivial stream over a pre-built instruction vector.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    instrs: std::vec::IntoIter<KernelInstr>,
+}
+
+impl VecStream {
+    /// Wraps a vector of instructions.
+    #[must_use]
+    pub fn new(instrs: Vec<KernelInstr>) -> Self {
+        VecStream { instrs: instrs.into_iter() }
+    }
+}
+
+impl InstrStream for VecStream {
+    fn next_instr(&mut self) -> Option<KernelInstr> {
+        self.instrs.next()
+    }
+}
+
+impl<S: InstrStream + ?Sized> InstrStream for Box<S> {
+    fn next_instr(&mut self) -> Option<KernelInstr> {
+        (**self).next_instr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Mov.apply_lane(7, 3), 3);
+        assert_eq!(AluOp::Add.apply_lane(7, 3), 10);
+        assert_eq!(AluOp::Sub.apply_lane(7, 3), 4);
+        assert_eq!(AluOp::Mul.apply_lane(7, 3), 21);
+        assert_eq!(AluOp::Min.apply_lane(7, 3), 3);
+        assert_eq!(AluOp::Max.apply_lane(7, 3), 7);
+        assert_eq!(AluOp::Xor.apply_lane(0b101, 0b011), 0b110);
+        assert_eq!(AluOp::AxpyImm(2).apply_lane(7, 3), 13);
+        assert_eq!(AluOp::ScaleImm(5).apply_lane(7, 999), 35);
+        assert_eq!(AluOp::AddImm(5).apply_lane(7, 999), 12);
+        // 7 ^ 3 = 0b100 -> one set bit
+        assert_eq!(AluOp::Hamming.apply_lane(7, 3), 8);
+    }
+
+    #[test]
+    fn alu_wrapping() {
+        assert_eq!(AluOp::Add.apply_lane(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Mul.apply_lane(u32::MAX, 2), u32::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn immediate_ops_do_not_read_memory() {
+        assert!(!AluOp::ScaleImm(2).reads_memory());
+        assert!(!AluOp::AddImm(2).reads_memory());
+        assert!(AluOp::Add.reads_memory());
+        assert!(AluOp::Hamming.reads_memory());
+    }
+
+    #[test]
+    fn pim_op_dram_access() {
+        assert!(PimOp::Load.accesses_dram());
+        assert!(PimOp::Store.accesses_dram());
+        assert!(PimOp::Store.is_dram_write());
+        assert!(!PimOp::Load.is_dram_write());
+        assert!(PimOp::Compute(AluOp::Add).accesses_dram());
+        assert!(!PimOp::Compute(AluOp::ScaleImm(3)).accesses_dram());
+        assert!(!PimOp::Execute(AluOp::Add).accesses_dram());
+    }
+
+    #[test]
+    fn stripe_apply_matches_lane_apply() {
+        let acc = Stripe([1, 2, 3, 4, 5, 6, 7, 8]);
+        let mem = Stripe::splat(10);
+        let out = AluOp::AxpyImm(3).apply(acc, mem);
+        for (i, lane) in out.0.iter().enumerate() {
+            assert_eq!(*lane, AluOp::AxpyImm(3).apply_lane(acc.0[i], 10));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let instr = PimInstruction {
+            op: PimOp::Load,
+            addr: Addr(0x40),
+            slot: TsSlot(2),
+            group: MemGroupId(0),
+        };
+        assert_eq!(instr.to_string(), "pim_load 0x40 -> ts2");
+        let instr = PimInstruction { op: PimOp::Compute(AluOp::Add), ..instr };
+        assert_eq!(instr.to_string(), "pim_add ts2, 0x40");
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(AluOp::AxpyImm(7).to_string(), "axpy[7]");
+    }
+
+    #[test]
+    fn kernel_instr_classification() {
+        let pim = KernelInstr::Pim(PimInstruction {
+            op: PimOp::Store,
+            addr: Addr(0),
+            slot: TsSlot(0),
+            group: MemGroupId(0),
+        });
+        assert!(pim.is_pim());
+        assert!(!pim.is_ordering());
+        let ol = KernelInstr::Ordering(OrderingInstr::OrderLight { group: MemGroupId(0) });
+        assert!(ol.is_ordering());
+        assert!(!ol.is_pim());
+        let ld = KernelInstr::Load { addr: Addr(0), reg: Reg(0) };
+        assert!(!ld.is_pim() && !ld.is_ordering());
+    }
+}

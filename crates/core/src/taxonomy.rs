@@ -1,0 +1,195 @@
+//! The PIM design-space taxonomy of paper Section 3 (Figures 1 and 2).
+//!
+//! PIM designs are classified along two *temporal* axes:
+//!
+//! * **Offload granularity** — how much time one offloaded PIM computation
+//!   consumes: coarse (the host ships an entire computation to memory-side
+//!   orchestration logic) versus fine (each offload is temporally
+//!   equivalent to an individual load/store).
+//! * **Arbitration granularity** — how host and PIM memory accesses share
+//!   the memory: coarse (the host is locked out while PIM runs) versus
+//!   fine (the memory controller interleaves PIM commands with normal
+//!   loads/stores).
+//!
+//! OrderLight targets the FGO/FGA quadrant, which keeps memory-side logic
+//! simple, stays compatible with mainstream memory interfaces (DDR, HBM,
+//! GDDR, LPDDR) and lets host and PIM run concurrently.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Temporal granularity of offloaded PIM computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OffloadGranularity {
+    /// Entire computations shipped to memory-side orchestration logic.
+    Coarse,
+    /// Individual commands, temporally equivalent to loads/stores.
+    Fine,
+}
+
+/// Temporal granularity of arbitration between host and PIM accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbitrationGranularity {
+    /// Host memory accesses are disallowed while PIM computes.
+    Coarse,
+    /// PIM commands interleave with normal host loads/stores.
+    Fine,
+}
+
+/// A quadrant of the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PimClass {
+    /// Offload-granularity axis.
+    pub offload: OffloadGranularity,
+    /// Arbitration-granularity axis.
+    pub arbitration: ArbitrationGranularity,
+}
+
+impl PimClass {
+    /// Coarse-grain offload, fine-grain arbitration (Section 3.1).
+    pub const CGO_FGA: PimClass = PimClass {
+        offload: OffloadGranularity::Coarse,
+        arbitration: ArbitrationGranularity::Fine,
+    };
+    /// Coarse-grain offload, coarse-grain arbitration (Section 3.2).
+    pub const CGO_CGA: PimClass = PimClass {
+        offload: OffloadGranularity::Coarse,
+        arbitration: ArbitrationGranularity::Coarse,
+    };
+    /// Fine-grain offload, coarse-grain arbitration (Section 3.3).
+    pub const FGO_CGA: PimClass = PimClass {
+        offload: OffloadGranularity::Fine,
+        arbitration: ArbitrationGranularity::Coarse,
+    };
+    /// Fine-grain offload, fine-grain arbitration (Section 3.4) — the
+    /// quadrant OrderLight serves.
+    pub const FGO_FGA: PimClass = PimClass {
+        offload: OffloadGranularity::Fine,
+        arbitration: ArbitrationGranularity::Fine,
+    };
+
+    /// Whether this class needs memory-side orchestration logic.
+    #[must_use]
+    pub fn needs_memory_side_orchestration(self) -> bool {
+        self.offload == OffloadGranularity::Coarse
+    }
+
+    /// Whether this class allows concurrent host memory accesses during
+    /// PIM computation.
+    #[must_use]
+    pub fn allows_concurrent_host_access(self) -> bool {
+        self.arbitration == ArbitrationGranularity::Fine
+    }
+
+    /// Whether this class is compatible with mainstream (non-transactional)
+    /// memory interfaces such as DDR/HBM/GDDR/LPDDR. Fine-grained
+    /// arbitration with *coarse* offload requires moving the memory
+    /// controller into the module (transactional interfaces such as HMC).
+    #[must_use]
+    pub fn mainstream_interface_compatible(self) -> bool {
+        !(self.offload == OffloadGranularity::Coarse
+            && self.arbitration == ArbitrationGranularity::Fine)
+    }
+}
+
+impl fmt::Display for PimClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = match self.offload {
+            OffloadGranularity::Coarse => "CGO",
+            OffloadGranularity::Fine => "FGO",
+        };
+        let a = match self.arbitration {
+            ArbitrationGranularity::Coarse => "CGA",
+            ArbitrationGranularity::Fine => "FGA",
+        };
+        write!(f, "{o}/{a}")
+    }
+}
+
+/// A published PIM design and its quadrant (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiteratureDesign {
+    /// Design name as it appears in Figure 1.
+    pub name: &'static str,
+    /// Taxonomy quadrant.
+    pub class: PimClass,
+}
+
+/// The Figure 1 classification of prior PIM designs.
+#[must_use]
+pub fn literature() -> Vec<LiteratureDesign> {
+    use PimClass as C;
+    let mut v = Vec::new();
+    let mut push = |name, class| v.push(LiteratureDesign { name, class });
+    // CGO/FGA (Section 3.1)
+    for name in
+        ["Tesseract", "LazyPIM", "Tetris", "Neurocube", "TOM", "Cho et al.", "NDP", "GraphPIM-HMC"]
+    {
+        push(name, C::CGO_FGA);
+    }
+    // CGO/CGA (Section 3.2)
+    for name in ["Upmem", "DIVA", "Execube", "FlexRAM", "Active Pages", "NDA", "DRISA"] {
+        push(name, C::CGO_CGA);
+    }
+    // FGO/CGA (Section 3.3)
+    for name in ["Terasys", "GRIM", "McDRAM", "AC-DIMM", "IMPICA"] {
+        push(name, C::FGO_CGA);
+    }
+    // FGO/FGA (Section 3.4) — the emerging class OrderLight supports.
+    for name in ["PEI", "FIMDRAM", "Lee et al.", "ComputeDRAM", "GraphPIM"] {
+        push(name, C::FGO_FGA);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_display() {
+        assert_eq!(PimClass::FGO_FGA.to_string(), "FGO/FGA");
+        assert_eq!(PimClass::CGO_CGA.to_string(), "CGO/CGA");
+        assert_eq!(PimClass::CGO_FGA.to_string(), "CGO/FGA");
+        assert_eq!(PimClass::FGO_CGA.to_string(), "FGO/CGA");
+    }
+
+    #[test]
+    fn fgo_fga_has_all_desirable_characteristics() {
+        let c = PimClass::FGO_FGA;
+        assert!(!c.needs_memory_side_orchestration());
+        assert!(c.allows_concurrent_host_access());
+        assert!(c.mainstream_interface_compatible());
+    }
+
+    #[test]
+    fn cgo_fga_needs_transactional_interface() {
+        assert!(!PimClass::CGO_FGA.mainstream_interface_compatible());
+        assert!(PimClass::CGO_CGA.mainstream_interface_compatible());
+    }
+
+    #[test]
+    fn cga_blocks_host() {
+        assert!(!PimClass::CGO_CGA.allows_concurrent_host_access());
+        assert!(!PimClass::FGO_CGA.allows_concurrent_host_access());
+    }
+
+    #[test]
+    fn literature_covers_all_quadrants() {
+        let designs = literature();
+        for class in
+            [PimClass::CGO_FGA, PimClass::CGO_CGA, PimClass::FGO_CGA, PimClass::FGO_FGA]
+        {
+            assert!(
+                designs.iter().any(|d| d.class == class),
+                "no design classified as {class}"
+            );
+        }
+        // Spot checks from Figure 1.
+        let find = |n: &str| designs.iter().find(|d| d.name == n).unwrap().class;
+        assert_eq!(find("Upmem"), PimClass::CGO_CGA);
+        assert_eq!(find("FIMDRAM"), PimClass::FGO_FGA);
+        assert_eq!(find("Tesseract"), PimClass::CGO_FGA);
+        assert_eq!(find("GRIM"), PimClass::FGO_CGA);
+    }
+}

@@ -1,0 +1,548 @@
+//! The streaming multiprocessor: warp scheduling, issue rules for every
+//! kernel instruction, the LDST queue, and stall accounting.
+//!
+//! The contrast the paper draws (Figure 7) lives here:
+//!
+//! * a **fence** first drains the warp's requests out of the operand
+//!   collector, then injects a fence *probe* and stalls the warp until
+//!   the memory controller's acknowledgement returns up the pipe —
+//!   hundreds of core cycles per fence;
+//! * an **OrderLight** instruction waits only until the operand
+//!   collector's PIM counter for its channel/group reads zero (a few
+//!   cycles), injects the packet, and keeps issuing.
+
+use crate::operand_collector::OperandCollector;
+use crate::warp::{Warp, WarpState};
+use orderlight::message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
+use orderlight::packet::OrderLightPacket;
+use orderlight::types::CoreCycle;
+use orderlight::{KernelInstr, OrderingInstr};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// SM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Collector units available.
+    pub oc_capacity: usize,
+    /// Operand-collector residency in core cycles.
+    pub oc_latency: CoreCycle,
+    /// LDST queue capacity.
+    pub ldst_capacity: usize,
+    /// Instructions issued per cycle (across warps).
+    pub issue_width: usize,
+    /// Per-warp buffer credits for the sequence-number baseline
+    /// (Kim et al. (paper reference 27)): a PIM instruction may only issue while the
+    /// warp holds a credit; the controller returns one per retired
+    /// request. `None` disables credit gating (fence/OrderLight modes).
+    pub credits: Option<u32>,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            oc_capacity: 16,
+            oc_latency: 4,
+            ldst_capacity: 16,
+            issue_width: 1,
+            credits: None,
+        }
+    }
+}
+
+/// Per-SM activity and stall counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Instructions issued.
+    pub issued: u64,
+    /// PIM instructions issued.
+    pub pim_issued: u64,
+    /// Conventional loads issued.
+    pub loads: u64,
+    /// Conventional stores issued.
+    pub stores: u64,
+    /// In-core SIMD computes executed.
+    pub computes: u64,
+    /// Fence instructions executed.
+    pub fences: u64,
+    /// OrderLight instructions executed.
+    pub orderlights: u64,
+    /// Warp-cycles spent stalled at fences (the paper's core stall-cycle
+    /// metric).
+    pub fence_stall_cycles: u64,
+    /// Warp-cycles spent waiting for the operand collector to drain
+    /// before injecting an OrderLight packet.
+    pub ol_wait_cycles: u64,
+    /// Warp-cycles blocked on register dependences.
+    pub reg_wait_cycles: u64,
+    /// Warp-cycles blocked on full collector/LDST structures.
+    pub structural_stall_cycles: u64,
+    /// Warp-cycles blocked waiting for buffer credits (sequence-number
+    /// baseline only).
+    pub credit_wait_cycles: u64,
+}
+
+impl SmStats {
+    /// Total stall cycles across causes.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.fence_stall_cycles
+            + self.ol_wait_cycles
+            + self.reg_wait_cycles
+            + self.structural_stall_cycles
+            + self.credit_wait_cycles
+    }
+}
+
+/// One streaming multiprocessor.
+///
+/// # Example
+///
+/// ```
+/// use orderlight::types::{Addr, ChannelId, GlobalWarpId, MemGroupId, TsSlot};
+/// use orderlight::{KernelInstr, PimInstruction, PimOp, VecStream};
+/// use orderlight_gpu::{Sm, SmConfig, Warp};
+///
+/// let program = vec![KernelInstr::Pim(PimInstruction {
+///     op: PimOp::Load,
+///     addr: Addr(0),
+///     slot: TsSlot(0),
+///     group: MemGroupId(0),
+/// })];
+/// let warp = Warp::new(
+///     GlobalWarpId::new(0, 0),
+///     ChannelId(0),
+///     Box::new(VecStream::new(program)),
+/// );
+/// let mut sm = Sm::new(SmConfig::default(), vec![warp]);
+/// for now in 0..10 {
+///     sm.tick(now);
+/// }
+/// assert!(sm.pop_ldst().is_some(), "the PIM request reached the LDST queue");
+/// assert!(sm.is_done());
+/// ```
+pub struct Sm {
+    warps: Vec<Warp>,
+    oc: OperandCollector,
+    ldst: VecDeque<MemReq>,
+    cfg: SmConfig,
+    rr: usize,
+    stats: SmStats,
+    credits: Vec<u32>,
+}
+
+impl Sm {
+    /// Creates an SM running `warps`.
+    #[must_use]
+    pub fn new(cfg: SmConfig, warps: Vec<Warp>) -> Self {
+        Sm {
+            oc: OperandCollector::new(cfg.oc_capacity, cfg.oc_latency),
+            ldst: VecDeque::new(),
+            credits: vec![cfg.credits.unwrap_or(0); warps.len()],
+            warps,
+            cfg,
+            rr: 0,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// The warps running on this SM.
+    #[must_use]
+    pub fn warps(&self) -> &[Warp] {
+        &self.warps
+    }
+
+    /// Whether every warp has finished and all structures drained.
+    #[must_use]
+    pub fn is_done(&mut self) -> bool {
+        let all_done = (0..self.warps.len()).all(|i| {
+            let _ = self.warps[i].current();
+            self.warps[i].state() == WarpState::Done
+        });
+        all_done && self.oc.is_empty() && self.ldst.is_empty()
+    }
+
+    /// Peeks the LDST queue head for routing to a memory pipe.
+    #[must_use]
+    pub fn peek_ldst(&self) -> Option<&MemReq> {
+        self.ldst.front()
+    }
+
+    /// Pops the LDST queue head once the pipe accepted it.
+    pub fn pop_ldst(&mut self) -> Option<MemReq> {
+        self.ldst.pop_front()
+    }
+
+    /// Delivers a response from the memory pipe.
+    pub fn deliver(&mut self, resp: MemResp) {
+        let warp_idx = resp.warp().warp();
+        let warp = &mut self.warps[warp_idx];
+        match resp {
+            MemResp::LoadData { reg, data, .. } => warp.write_reg(reg, data),
+            MemResp::FenceAck { fence_id, .. } => {
+                let _ = warp.fence_ack(fence_id);
+            }
+            MemResp::Credit { .. } => self.credits[warp_idx] += 1,
+        }
+    }
+
+    fn ldst_has_space(&self) -> bool {
+        self.ldst.len() < self.cfg.ldst_capacity
+    }
+
+    /// Attempts to issue the current instruction of warp `i`; returns
+    /// whether an instruction issued.
+    fn try_issue(&mut self, i: usize, now: CoreCycle) -> bool {
+        let Some(instr) = self.warps[i].current() else { return false };
+        match instr {
+            KernelInstr::Pim(pim) => {
+                if self.cfg.credits.is_some() && self.credits[i] == 0 {
+                    self.stats.credit_wait_cycles += 1;
+                    return false;
+                }
+                if !self.oc.has_space() {
+                    self.stats.structural_stall_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
+                let key = (warp.channel(), pim.group);
+                let id = warp.id();
+                warp.advance();
+                if self.cfg.credits.is_some() {
+                    self.credits[i] -= 1;
+                }
+                self.oc.allocate(MemReq::Pim { instr: pim, meta }, id, Some(key), now);
+                self.stats.pim_issued += 1;
+                true
+            }
+            KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
+                let channel = self.warps[i].channel();
+                if self.oc.pim_count(channel, group) > 0 {
+                    self.stats.ol_wait_cycles += 1;
+                    return false;
+                }
+                if !self.ldst_has_space() {
+                    self.stats.structural_stall_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let number = warp.next_ol_number(group);
+                let packet = OrderLightPacket::new(channel, group, number);
+                warp.advance();
+                self.ldst.push_back(MemReq::Marker(MarkerCopy {
+                    marker: Marker::OrderLight(packet),
+                    total_copies: 1,
+                }));
+                self.stats.orderlights += 1;
+                true
+            }
+            KernelInstr::Ordering(OrderingInstr::Fence) => {
+                // The fence halts issue until the warp's requests have
+                // left the operand collector, then sends the probe and
+                // stalls for the acknowledgement.
+                let id = self.warps[i].id();
+                if self.oc.warp_count(id) > 0 {
+                    self.stats.fence_stall_cycles += 1;
+                    return false;
+                }
+                if !self.ldst_has_space() {
+                    self.stats.structural_stall_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let channel = warp.channel();
+                let fence_id = warp.enter_fence();
+                warp.advance();
+                self.ldst.push_back(MemReq::Marker(MarkerCopy {
+                    marker: Marker::FenceProbe { warp: id, fence_id, channel },
+                    total_copies: 1,
+                }));
+                self.stats.fences += 1;
+                true
+            }
+            KernelInstr::Load { addr, reg } => {
+                if self.warps[i].is_pending(reg) {
+                    self.stats.reg_wait_cycles += 1;
+                    return false;
+                }
+                if !self.oc.has_space() {
+                    self.stats.structural_stall_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
+                let id = warp.id();
+                warp.mark_pending(reg);
+                warp.advance();
+                self.oc.allocate(MemReq::HostRead { addr, reg, meta }, id, None, now);
+                self.stats.loads += 1;
+                true
+            }
+            KernelInstr::Compute { op, dst, a, b } => {
+                let warp = &self.warps[i];
+                if warp.is_pending(a) || warp.is_pending(b) || warp.is_pending(dst) {
+                    self.stats.reg_wait_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let result = op.apply(warp.read_reg(a), warp.read_reg(b));
+                warp.write_reg(dst, result);
+                warp.advance();
+                self.stats.computes += 1;
+                true
+            }
+            KernelInstr::Store { addr, reg } => {
+                if self.warps[i].is_pending(reg) {
+                    self.stats.reg_wait_cycles += 1;
+                    return false;
+                }
+                if !self.oc.has_space() {
+                    self.stats.structural_stall_cycles += 1;
+                    return false;
+                }
+                let warp = &mut self.warps[i];
+                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
+                let id = warp.id();
+                let data = warp.read_reg(reg);
+                warp.advance();
+                self.oc.allocate(MemReq::HostWrite { addr, data, meta }, id, None, now);
+                self.stats.stores += 1;
+                true
+            }
+        }
+    }
+
+    /// Advances the SM one core cycle: drains the operand collector into
+    /// the LDST queue, counts fence stalls, and issues up to
+    /// `issue_width` instructions round-robin across ready warps.
+    pub fn tick(&mut self, now: CoreCycle) {
+        // Operand collector -> LDST queue.
+        let space = self.cfg.ldst_capacity - self.ldst.len();
+        let mut budget = space;
+        let ldst = &mut self.ldst;
+        self.oc.drain(now, |req| {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            ldst.push_back(req.clone());
+            true
+        });
+
+        // Fence-stall accounting: every warp parked at a fence burns a
+        // stall cycle (the paper's "waiting cycles per fence").
+        for w in &self.warps {
+            if matches!(w.state(), WarpState::WaitFence { .. }) {
+                self.stats.fence_stall_cycles += 1;
+            }
+        }
+
+        // Issue round-robin across ready warps.
+        let n = self.warps.len();
+        let mut issued = 0;
+        for k in 0..n {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let i = (self.rr + k) % n;
+            {
+                let warp = &mut self.warps[i];
+                let _ = warp.current();
+                if warp.state() != WarpState::Ready {
+                    continue;
+                }
+            }
+            if self.try_issue(i, now) {
+                issued += 1;
+                self.stats.issued += 1;
+            }
+        }
+        self.rr = (self.rr + 1) % n.max(1);
+    }
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("warps", &self.warps.len())
+            .field("ldst", &self.ldst.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::types::{Addr, ChannelId, GlobalWarpId, MemGroupId, Stripe, TsSlot};
+    use orderlight::{AluOp, PimInstruction, PimOp, Reg, VecStream};
+
+    fn pim(addr: u64) -> KernelInstr {
+        KernelInstr::Pim(PimInstruction {
+            op: PimOp::Load,
+            addr: Addr(addr),
+            slot: TsSlot(0),
+            group: MemGroupId(0),
+        })
+    }
+
+    fn sm_with(instrs: Vec<KernelInstr>) -> Sm {
+        let warp =
+            Warp::new(GlobalWarpId::new(0, 0), ChannelId(0), Box::new(VecStream::new(instrs)));
+        Sm::new(SmConfig::default(), vec![warp])
+    }
+
+    fn drain_ldst(sm: &mut Sm) -> Vec<MemReq> {
+        let mut v = Vec::new();
+        while let Some(r) = sm.pop_ldst() {
+            v.push(r);
+        }
+        v
+    }
+
+    #[test]
+    fn pim_instructions_flow_through_oc_to_ldst() {
+        let mut sm = sm_with(vec![pim(0), pim(32)]);
+        for now in 0..10 {
+            sm.tick(now);
+        }
+        let reqs = drain_ldst(&mut sm);
+        assert_eq!(reqs.len(), 2);
+        assert!(matches!(reqs[0], MemReq::Pim { .. }));
+        assert_eq!(sm.stats().pim_issued, 2);
+        assert!(sm.is_done());
+    }
+
+    #[test]
+    fn orderlight_waits_for_oc_drain_but_not_for_memory() {
+        let mut sm = sm_with(vec![
+            pim(0),
+            KernelInstr::Ordering(OrderingInstr::OrderLight { group: MemGroupId(0) }),
+            pim(32),
+        ]);
+        let mut order = Vec::new();
+        for now in 0..20 {
+            sm.tick(now);
+            order.extend(drain_ldst(&mut sm));
+        }
+        assert_eq!(order.len(), 3);
+        assert!(matches!(order[0], MemReq::Pim { .. }));
+        assert!(
+            matches!(&order[1], MemReq::Marker(c) if matches!(c.marker, Marker::OrderLight(_))),
+            "packet injected after the load left the collector"
+        );
+        assert!(matches!(order[2], MemReq::Pim { .. }));
+        let s = sm.stats();
+        assert_eq!(s.orderlights, 1);
+        assert!(s.ol_wait_cycles > 0, "brief wait for the collector");
+        assert!(
+            s.ol_wait_cycles <= SmConfig::default().oc_latency + 2,
+            "but only a few cycles, not a round trip"
+        );
+        assert!(sm.is_done(), "no stall waiting for memory");
+    }
+
+    #[test]
+    fn fence_stalls_until_ack() {
+        let mut sm = sm_with(vec![
+            pim(0),
+            KernelInstr::Ordering(OrderingInstr::Fence),
+            pim(32),
+        ]);
+        let mut seen = Vec::new();
+        for now in 0..50 {
+            sm.tick(now);
+            seen.extend(drain_ldst(&mut sm));
+        }
+        // Load + probe are out; the post-fence PIM instruction is NOT.
+        assert_eq!(seen.len(), 2);
+        assert!(matches!(&seen[1], MemReq::Marker(c)
+            if matches!(c.marker, Marker::FenceProbe { .. })));
+        assert!(!sm.is_done());
+        let stalls_before = sm.stats().fence_stall_cycles;
+        assert!(stalls_before > 0);
+        // Deliver the ack; the warp resumes.
+        sm.deliver(MemResp::FenceAck { warp: GlobalWarpId::new(0, 0), fence_id: 1 });
+        for now in 50..70 {
+            sm.tick(now);
+            seen.extend(drain_ldst(&mut sm));
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(sm.is_done());
+    }
+
+    #[test]
+    fn host_load_compute_store_respects_dependences() {
+        let a = Reg(1);
+        let b = Reg(2);
+        let c = Reg(3);
+        let mut sm = sm_with(vec![
+            KernelInstr::Load { addr: Addr(0), reg: a },
+            KernelInstr::Load { addr: Addr(32), reg: b },
+            KernelInstr::Compute { op: AluOp::Add, dst: c, a, b },
+            KernelInstr::Store { addr: Addr(64), reg: c },
+        ]);
+        let mut out = Vec::new();
+        for now in 0..30 {
+            sm.tick(now);
+            out.extend(drain_ldst(&mut sm));
+        }
+        // Both loads issue back to back (non-blocking), but the compute
+        // and store wait for data.
+        assert_eq!(out.len(), 2);
+        assert!(sm.stats().reg_wait_cycles > 0);
+        sm.deliver(MemResp::LoadData {
+            warp: GlobalWarpId::new(0, 0),
+            reg: a,
+            data: Stripe::splat(30),
+        });
+        sm.deliver(MemResp::LoadData {
+            warp: GlobalWarpId::new(0, 0),
+            reg: b,
+            data: Stripe::splat(12),
+        });
+        for now in 30..60 {
+            sm.tick(now);
+            out.extend(drain_ldst(&mut sm));
+        }
+        assert_eq!(out.len(), 3);
+        match &out[2] {
+            MemReq::HostWrite { data, .. } => assert_eq!(*data, Stripe::splat(42)),
+            other => panic!("expected store, got {other:?}"),
+        }
+        assert!(sm.is_done());
+        assert_eq!(sm.stats().computes, 1);
+    }
+
+    #[test]
+    fn round_robin_across_warps() {
+        let w0 = Warp::new(
+            GlobalWarpId::new(0, 0),
+            ChannelId(0),
+            Box::new(VecStream::new(vec![pim(0), pim(32)])),
+        );
+        let w1 = Warp::new(
+            GlobalWarpId::new(0, 1),
+            ChannelId(1),
+            Box::new(VecStream::new(vec![pim(64), pim(96)])),
+        );
+        let mut sm = Sm::new(SmConfig::default(), vec![w0, w1]);
+        for now in 0..20 {
+            sm.tick(now);
+        }
+        let reqs = drain_ldst(&mut sm);
+        assert_eq!(reqs.len(), 4);
+        // Issue alternated between warps (round robin), so the first two
+        // requests come from different warps.
+        let warp_of = |r: &MemReq| r.meta().unwrap().warp;
+        assert_ne!(warp_of(&reqs[0]), warp_of(&reqs[1]));
+        assert!(sm.is_done());
+    }
+}

@@ -1,0 +1,263 @@
+//! Warp state: the program stream, SIMD registers with a pending-load
+//! scoreboard, and ordering-primitive counters.
+
+use orderlight::types::{ChannelId, GlobalWarpId, MemGroupId, Stripe};
+use orderlight::{InstrStream, KernelInstr};
+use std::fmt;
+
+/// Number of architectural registers modelled per warp.
+pub const NUM_REGS: usize = 64;
+
+/// Scheduling state of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// May issue instructions.
+    Ready,
+    /// Stalled at a fence, waiting for the controller's acknowledgement.
+    WaitFence {
+        /// The fence id the acknowledgement must carry.
+        fence_id: u64,
+    },
+    /// Program exhausted.
+    Done,
+}
+
+/// One warp executing a kernel instruction stream.
+pub struct Warp {
+    id: GlobalWarpId,
+    channel: ChannelId,
+    program: Box<dyn InstrStream>,
+    cur: Option<KernelInstr>,
+    exhausted: bool,
+    state: WarpState,
+    regs: Box<[Stripe; NUM_REGS]>,
+    pending: u64,
+    seq: u64,
+    fence_counter: u64,
+    ol_numbers: [u32; 16],
+}
+
+impl Warp {
+    /// Creates a warp pinned to `channel`, executing `program`.
+    #[must_use]
+    pub fn new(id: GlobalWarpId, channel: ChannelId, program: Box<dyn InstrStream>) -> Self {
+        Warp {
+            id,
+            channel,
+            program,
+            cur: None,
+            exhausted: false,
+            state: WarpState::Ready,
+            regs: Box::new([Stripe::default(); NUM_REGS]),
+            pending: 0,
+            seq: 0,
+            fence_counter: 0,
+            ol_numbers: [0; 16],
+        }
+    }
+
+    /// The warp's global identifier.
+    #[must_use]
+    pub fn id(&self) -> GlobalWarpId {
+        self.id
+    }
+
+    /// The memory channel this warp drives.
+    #[must_use]
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Current scheduling state.
+    #[must_use]
+    pub fn state(&self) -> WarpState {
+        self.state
+    }
+
+    /// The instruction at the head of the stream (fetching lazily).
+    /// Transitions to [`WarpState::Done`] when the stream ends.
+    pub fn current(&mut self) -> Option<KernelInstr> {
+        if self.cur.is_none() && !self.exhausted {
+            self.cur = self.program.next_instr();
+            if self.cur.is_none() {
+                self.exhausted = true;
+                if self.state == WarpState::Ready {
+                    self.state = WarpState::Done;
+                }
+            }
+        }
+        self.cur
+    }
+
+    /// Consumes the current instruction after a successful issue.
+    ///
+    /// # Panics
+    /// Panics if there is no current instruction.
+    pub fn advance(&mut self) {
+        assert!(self.cur.take().is_some(), "advance without a current instruction");
+        // Prefetch so `Done` is observed promptly.
+        let _ = self.current();
+    }
+
+    /// Blocks the warp at a fence; returns the fence id for the probe.
+    pub fn enter_fence(&mut self) -> u64 {
+        self.fence_counter += 1;
+        self.state = WarpState::WaitFence { fence_id: self.fence_counter };
+        self.fence_counter
+    }
+
+    /// Delivers a fence acknowledgement; returns whether it unblocked the
+    /// warp.
+    pub fn fence_ack(&mut self, fence_id: u64) -> bool {
+        if self.state == (WarpState::WaitFence { fence_id }) {
+            self.state = if self.exhausted && self.cur.is_none() {
+                WarpState::Done
+            } else {
+                WarpState::Ready
+            };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Next per-warp request sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Next OrderLight packet number for `group` (paper Figure 8's
+    /// per-channel, per-memory-group packet number).
+    pub fn next_ol_number(&mut self, group: MemGroupId) -> u32 {
+        let n = &mut self.ol_numbers[group.index()];
+        *n += 1;
+        *n
+    }
+
+    /// Whether `reg` has an outstanding load.
+    #[must_use]
+    pub fn is_pending(&self, reg: orderlight::Reg) -> bool {
+        self.pending & (1 << u32::from(reg.0)) != 0
+    }
+
+    /// Marks `reg` as awaiting load data.
+    ///
+    /// # Panics
+    /// Panics if `reg` is out of range.
+    pub fn mark_pending(&mut self, reg: orderlight::Reg) {
+        assert!((reg.0 as usize) < NUM_REGS, "register {reg} out of range");
+        self.pending |= 1 << u32::from(reg.0);
+    }
+
+    /// Reads a register.
+    ///
+    /// # Panics
+    /// Panics if the register is out of range or still pending — the SM
+    /// must check the scoreboard first.
+    #[must_use]
+    pub fn read_reg(&self, reg: orderlight::Reg) -> Stripe {
+        assert!(!self.is_pending(reg), "read of pending register {reg}");
+        self.regs[reg.0 as usize]
+    }
+
+    /// Writes a register, clearing any pending mark (load completion or
+    /// in-core compute).
+    pub fn write_reg(&mut self, reg: orderlight::Reg, value: Stripe) {
+        self.regs[reg.0 as usize] = value;
+        self.pending &= !(1 << u32::from(reg.0));
+    }
+}
+
+impl fmt::Debug for Warp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Warp")
+            .field("id", &self.id)
+            .field("channel", &self.channel)
+            .field("state", &self.state)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::types::Addr;
+    use orderlight::{Reg, VecStream};
+
+    fn warp_with(instrs: Vec<KernelInstr>) -> Warp {
+        Warp::new(GlobalWarpId::new(0, 0), ChannelId(3), Box::new(VecStream::new(instrs)))
+    }
+
+    #[test]
+    fn empty_program_is_done_immediately() {
+        let mut w = warp_with(vec![]);
+        assert_eq!(w.current(), None);
+        assert_eq!(w.state(), WarpState::Done);
+    }
+
+    #[test]
+    fn current_and_advance_walk_the_stream() {
+        let i1 = KernelInstr::Load { addr: Addr(0), reg: Reg(1) };
+        let i2 = KernelInstr::Load { addr: Addr(32), reg: Reg(2) };
+        let mut w = warp_with(vec![i1, i2]);
+        assert_eq!(w.current(), Some(i1));
+        assert_eq!(w.current(), Some(i1), "peeking does not consume");
+        w.advance();
+        assert_eq!(w.current(), Some(i2));
+        w.advance();
+        assert_eq!(w.current(), None);
+        assert_eq!(w.state(), WarpState::Done);
+    }
+
+    #[test]
+    fn fence_blocks_and_ack_releases() {
+        let i = KernelInstr::Load { addr: Addr(0), reg: Reg(1) };
+        let mut w = warp_with(vec![i]);
+        let id = w.enter_fence();
+        assert_eq!(w.state(), WarpState::WaitFence { fence_id: id });
+        assert!(!w.fence_ack(id + 1), "wrong id ignored");
+        assert!(w.fence_ack(id));
+        assert_eq!(w.state(), WarpState::Ready);
+    }
+
+    #[test]
+    fn fence_ack_on_exhausted_program_goes_done() {
+        let mut w = warp_with(vec![]);
+        let _ = w.current();
+        let id = w.enter_fence();
+        assert!(w.fence_ack(id));
+        assert_eq!(w.state(), WarpState::Done);
+    }
+
+    #[test]
+    fn register_scoreboard() {
+        let mut w = warp_with(vec![]);
+        let r = Reg(5);
+        assert!(!w.is_pending(r));
+        w.mark_pending(r);
+        assert!(w.is_pending(r));
+        w.write_reg(r, Stripe::splat(9));
+        assert!(!w.is_pending(r));
+        assert_eq!(w.read_reg(r), Stripe::splat(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending register")]
+    fn reading_pending_register_panics() {
+        let mut w = warp_with(vec![]);
+        w.mark_pending(Reg(1));
+        let _ = w.read_reg(Reg(1));
+    }
+
+    #[test]
+    fn counters_are_monotonic() {
+        let mut w = warp_with(vec![]);
+        assert_eq!(w.next_seq(), 1);
+        assert_eq!(w.next_seq(), 2);
+        assert_eq!(w.next_ol_number(MemGroupId(0)), 1);
+        assert_eq!(w.next_ol_number(MemGroupId(0)), 2);
+        assert_eq!(w.next_ol_number(MemGroupId(1)), 1, "groups count separately");
+    }
+}

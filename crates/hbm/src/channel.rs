@@ -1,0 +1,426 @@
+//! A memory channel: banks plus shared command/data-bus constraints and
+//! the functional store.
+//!
+//! The channel enforces the constraints that span banks: tCCDL between
+//! column commands on the shared bus (the spacing Figure 11 uses between
+//! back-to-back PIM commands) and tRRD between activates to different
+//! banks. Everything bank-local is delegated to [`Bank`].
+
+use crate::bank::Bank;
+use crate::command::DramCommand;
+use crate::storage::FunctionalStore;
+use crate::timing::TimingParams;
+use orderlight::types::{BankId, MemCycle, Stripe};
+use serde::{Deserialize, Serialize};
+
+/// All-bank refresh parameters (values in memory cycles).
+///
+/// HBM2 refreshes every tREFI ≈ 3.9 us and an all-bank refresh occupies
+/// the channel for tRFC ≈ 350 ns; at 850 MHz that is roughly 3315 and
+/// 298 cycles. The paper's evaluation (like most PIM studies) omits
+/// refresh; it is off by default here and exercised by the
+/// `ablation_refresh` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshParams {
+    /// Refresh interval, tREFI.
+    pub interval: MemCycle,
+    /// Refresh occupancy, tRFC.
+    pub rfc: MemCycle,
+}
+
+impl RefreshParams {
+    /// HBM2-like defaults at 850 MHz: tREFI = 3315, tRFC = 298 cycles.
+    #[must_use]
+    pub fn hbm2() -> Self {
+        RefreshParams { interval: 3315, rfc: 298 }
+    }
+}
+
+/// What command is needed next to perform a column access to
+/// `(bank, row)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeededCommand {
+    /// A different row is open: precharge first.
+    Precharge,
+    /// The bank is closed: activate the row.
+    Activate,
+    /// The row is open: the column access itself.
+    Column,
+}
+
+/// One HBM channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    /// Earliest cycle for the next column command on the shared bus
+    /// (tCCD; same-bank tCCDL spacing is enforced by the banks).
+    next_col: MemCycle,
+    /// Earliest cycle for the next ACT on the channel (tRRD).
+    next_act_any: MemCycle,
+    store: FunctionalStore,
+    col_commands: u64,
+    refresh: Option<RefreshParams>,
+    /// Next cycle a refresh becomes due.
+    refresh_due: MemCycle,
+    /// End of the in-progress refresh window, if any.
+    refresh_until: Option<MemCycle>,
+    refreshes: u64,
+}
+
+impl Channel {
+    /// Creates a channel with `n_banks` banks and `row_bytes`-byte rows.
+    ///
+    /// # Panics
+    /// Panics if `n_banks` is zero or the timing parameters are invalid.
+    #[must_use]
+    pub fn new(timing: TimingParams, n_banks: usize, row_bytes: usize) -> Self {
+        assert!(n_banks > 0, "a channel needs at least one bank");
+        timing.validate().expect("timing parameters must be valid");
+        Channel::with_refresh(timing, n_banks, row_bytes, None)
+    }
+
+    /// Creates a channel with optional all-bank refresh.
+    ///
+    /// # Panics
+    /// Panics if `n_banks` is zero or the timing parameters are invalid.
+    #[must_use]
+    pub fn with_refresh(
+        timing: TimingParams,
+        n_banks: usize,
+        row_bytes: usize,
+        refresh: Option<RefreshParams>,
+    ) -> Self {
+        assert!(n_banks > 0, "a channel needs at least one bank");
+        timing.validate().expect("timing parameters must be valid");
+        Channel {
+            timing,
+            banks: (0..n_banks).map(|_| Bank::new()).collect(),
+            next_col: 0,
+            next_act_any: 0,
+            store: FunctionalStore::new(row_bytes),
+            col_commands: 0,
+            refresh_due: refresh.map_or(0, |r| r.interval),
+            refresh,
+            refresh_until: None,
+            refreshes: 0,
+        }
+    }
+
+    /// Advances refresh bookkeeping: once a refresh is due and every
+    /// open bank may legally precharge, all rows are closed and the
+    /// channel is occupied for tRFC cycles. Call once per memory cycle
+    /// (the controller does).
+    pub fn maintain(&mut self, now: MemCycle) {
+        let Some(r) = self.refresh else { return };
+        if let Some(until) = self.refresh_until {
+            if now >= until {
+                self.refresh_until = None;
+            } else {
+                return;
+            }
+        }
+        if now >= self.refresh_due {
+            // Wait until every open row can close (tRAS/tWTP honoured).
+            let t = self.timing;
+            if self.banks.iter().any(|b| b.open_row().is_some() && !b.can_precharge(now)) {
+                return;
+            }
+            for bank in &mut self.banks {
+                if bank.open_row().is_some() {
+                    bank.precharge(now, &t);
+                }
+            }
+            self.refresh_until = Some(now + r.rfc);
+            self.refresh_due = now + r.interval;
+            self.refreshes += 1;
+        }
+    }
+
+    /// Whether the channel is inside a refresh window at `now`.
+    #[must_use]
+    pub fn in_refresh(&self, now: MemCycle) -> bool {
+        self.refresh_until.is_some_and(|until| now < until)
+    }
+
+    /// All-bank refreshes performed.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// The timing parameters in force.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Panics
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: BankId) -> &Bank {
+        &self.banks[bank.index()]
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total column commands issued (statistics).
+    #[must_use]
+    pub fn col_commands(&self) -> u64 {
+        self.col_commands
+    }
+
+    /// The command needed next to reach a column access at `(bank, row)`.
+    #[must_use]
+    pub fn needed_command(&self, bank: BankId, row: u32) -> NeededCommand {
+        match self.bank(bank).open_row() {
+            Some(r) if r == row => NeededCommand::Column,
+            Some(_) => NeededCommand::Precharge,
+            None => NeededCommand::Activate,
+        }
+    }
+
+    /// Whether `cmd` may legally issue at `now` (bank + channel
+    /// constraints).
+    #[must_use]
+    pub fn can_issue(&self, cmd: DramCommand, now: MemCycle) -> bool {
+        if self.in_refresh(now) {
+            return false;
+        }
+        match cmd {
+            DramCommand::Activate { bank, .. } => {
+                now >= self.next_act_any && self.bank(bank).can_activate(now)
+            }
+            DramCommand::Precharge { bank } => self.bank(bank).can_precharge(now),
+            DramCommand::Column { bank, kind } => {
+                now >= self.next_col
+                    && self
+                        .bank(bank)
+                        .open_row()
+                        .is_some_and(|row| self.bank(bank).can_column(row, kind, now))
+            }
+        }
+    }
+
+    /// Issues `cmd` at `now` if legal; returns whether it issued.
+    pub fn try_issue(&mut self, cmd: DramCommand, now: MemCycle) -> bool {
+        if !self.can_issue(cmd, now) {
+            return false;
+        }
+        let t = self.timing;
+        match cmd {
+            DramCommand::Activate { bank, row } => {
+                self.banks[bank.index()].activate(row, now, &t);
+                self.next_act_any = now + t.rrd;
+            }
+            DramCommand::Precharge { bank } => {
+                self.banks[bank.index()].precharge(now, &t);
+            }
+            DramCommand::Column { bank, kind } => {
+                let row = self.banks[bank.index()].open_row().expect("checked open");
+                self.banks[bank.index()].column(row, kind, now, &t);
+                self.next_col = now + t.ccd;
+                self.col_commands += 1;
+            }
+        }
+        true
+    }
+
+    /// Reads the stripe at `col` of the *open* row of `bank` (the data
+    /// transfer accompanying a column-read command).
+    ///
+    /// # Panics
+    /// Panics if the bank has no open row.
+    #[must_use]
+    pub fn read_open_row(&self, bank: BankId, col: u16) -> Stripe {
+        let row = self.bank(bank).open_row().expect("read requires an open row");
+        self.store.read(bank, row, col)
+    }
+
+    /// Writes the stripe at `col` of the *open* row of `bank`.
+    ///
+    /// # Panics
+    /// Panics if the bank has no open row.
+    pub fn write_open_row(&mut self, bank: BankId, col: u16, data: Stripe) {
+        let row = self.banks[bank.index()].open_row().expect("write requires an open row");
+        self.store.write(bank, row, col, data);
+    }
+
+    /// Direct access to the functional store (initialisation, final
+    /// read-back and verification).
+    #[must_use]
+    pub fn store(&self) -> &FunctionalStore {
+        &self.store
+    }
+
+    /// Mutable access to the functional store.
+    pub fn store_mut(&mut self) -> &mut FunctionalStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ColKind;
+
+    fn ch() -> Channel {
+        Channel::new(TimingParams::hbm_table1(), 16, 2048)
+    }
+
+    #[test]
+    fn needed_command_progression() {
+        let mut c = ch();
+        assert_eq!(c.needed_command(BankId(0), 5), NeededCommand::Activate);
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(0), row: 5 }, 0));
+        assert_eq!(c.needed_command(BankId(0), 5), NeededCommand::Column);
+        assert_eq!(c.needed_command(BankId(0), 6), NeededCommand::Precharge);
+    }
+
+    #[test]
+    fn column_spacing_ccd_across_banks_ccdl_within_a_bank() {
+        let mut c = ch();
+        let t = *c.timing();
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(0), row: 0 }, 0));
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(1), row: 0 }, t.rrd));
+        let first = t.rrd + t.rcd_wr;
+        assert!(c.try_issue(DramCommand::column(BankId(0), ColKind::Write), first));
+        // A column to a *different* bank only waits tCCD (= 1 cycle).
+        assert!(c.try_issue(DramCommand::column(BankId(1), ColKind::Write), first + t.ccd));
+        // Back on bank 0, the same-bank spacing is tCCDL (= 2 cycles).
+        assert!(!c.try_issue(DramCommand::column(BankId(0), ColKind::Write), first + 1));
+        assert!(c.try_issue(DramCommand::column(BankId(0), ColKind::Write), first + t.ccdl));
+        assert_eq!(c.col_commands(), 3);
+    }
+
+    #[test]
+    fn rrd_spaces_activates() {
+        let mut c = ch();
+        let t = *c.timing();
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(0), row: 0 }, 0));
+        assert!(!c.try_issue(DramCommand::Activate { bank: BankId(1), row: 0 }, t.rrd - 1));
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(1), row: 0 }, t.rrd));
+    }
+
+    #[test]
+    fn data_flows_through_open_rows() {
+        let mut c = ch();
+        c.try_issue(DramCommand::Activate { bank: BankId(2), row: 9 }, 0);
+        c.write_open_row(BankId(2), 3, Stripe::splat(7));
+        assert_eq!(c.read_open_row(BankId(2), 3), Stripe::splat(7));
+        assert_eq!(c.store().read(BankId(2), 9, 3), Stripe::splat(7));
+    }
+
+    #[test]
+    fn column_to_closed_bank_is_illegal() {
+        let mut c = ch();
+        assert!(!c.try_issue(DramCommand::column(BankId(0), ColKind::Read), 100));
+    }
+
+    #[test]
+    fn simulated_read_stream_matches_analytic_window() {
+        // The read-side counterpart of Figure 11: rcd_rd + 7*ccdl + rtp
+        // + rp per row of 8 reads (bounded below by tRC).
+        let mut c = ch();
+        let t = *c.timing();
+        let mut now: MemCycle = 0;
+        let mut acts = Vec::new();
+        for row in 0..3u32 {
+            while !c.try_issue(DramCommand::Activate { bank: BankId(0), row }, now) {
+                now += 1;
+            }
+            acts.push(now);
+            let mut reads = 0;
+            while reads < 8 {
+                if c.try_issue(DramCommand::column(BankId(0), ColKind::Read), now) {
+                    reads += 1;
+                }
+                now += 1;
+            }
+            while !c.try_issue(DramCommand::Precharge { bank: BankId(0) }, now) {
+                now += 1;
+            }
+        }
+        let w = t.row_window_reads(8).max(t.rc());
+        assert_eq!(acts[1] - acts[0], w);
+        assert_eq!(acts[2] - acts[1], w);
+    }
+
+    #[test]
+    fn refresh_blocks_commands_and_closes_rows() {
+        let r = RefreshParams { interval: 100, rfc: 20 };
+        let mut c = Channel::with_refresh(TimingParams::hbm_table1(), 4, 2048, Some(r));
+        assert!(c.try_issue(DramCommand::Activate { bank: BankId(0), row: 3 }, 0));
+        // Run the clock past the refresh due point; the row must be
+        // closed (tRAS honoured first) and commands blocked for tRFC.
+        let mut refreshed_at = None;
+        for now in 0..200 {
+            c.maintain(now);
+            if c.in_refresh(now) && refreshed_at.is_none() {
+                refreshed_at = Some(now);
+            }
+        }
+        let start = refreshed_at.expect("refresh happened");
+        assert!(start >= 100, "not before tREFI");
+        assert_eq!(c.refreshes(), 1);
+        assert_eq!(c.bank(BankId(0)).open_row(), None, "refresh closed the row");
+        // During the window nothing may issue.
+        let mut c2 = Channel::with_refresh(TimingParams::hbm_table1(), 4, 2048, Some(r));
+        for now in 0..=100 {
+            c2.maintain(now);
+        }
+        assert!(c2.in_refresh(100));
+        assert!(!c2.can_issue(DramCommand::Activate { bank: BankId(1), row: 0 }, 100));
+        // After the window, commands flow again.
+        for now in 101..=120 {
+            c2.maintain(now);
+        }
+        assert!(c2.can_issue(DramCommand::Activate { bank: BankId(1), row: 0 }, 120));
+    }
+
+    #[test]
+    fn no_refresh_by_default() {
+        let mut c = ch();
+        for now in 0..10_000 {
+            c.maintain(now);
+            assert!(!c.in_refresh(now));
+        }
+        assert_eq!(c.refreshes(), 0);
+    }
+
+    #[test]
+    fn simulated_write_stream_matches_analytic_window() {
+        // Stream 3 rows of 8 writes each through one bank and check the
+        // steady-state spacing equals TimingParams::row_window_writes(8).
+        let mut c = ch();
+        let t = *c.timing();
+        let mut now: MemCycle = 0;
+        let mut act_times = Vec::new();
+        for row in 0..3u32 {
+            // Wait until ACT legal.
+            while !c.try_issue(DramCommand::Activate { bank: BankId(0), row }, now) {
+                now += 1;
+            }
+            act_times.push(now);
+            let mut writes = 0;
+            while writes < 8 {
+                if c.try_issue(DramCommand::column(BankId(0), ColKind::Write), now) {
+                    writes += 1;
+                }
+                now += 1;
+            }
+            while !c.try_issue(DramCommand::Precharge { bank: BankId(0) }, now) {
+                now += 1;
+            }
+        }
+        let w = t.row_window_writes(8);
+        assert_eq!(act_times[1] - act_times[0], w, "window {w} expected");
+        assert_eq!(act_times[2] - act_times[1], w);
+    }
+}

@@ -1,0 +1,87 @@
+//! The DRAM command vocabulary issued by the memory controller to a
+//! channel.
+
+use orderlight::types::BankId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a column access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColKind {
+    /// A column read (host read, PIM load, PIM fetch-and-op operand).
+    Read,
+    /// A column write (host write, PIM store).
+    Write,
+}
+
+/// One DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open `row` in `bank` (PRE must have completed).
+    Activate {
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: u32,
+    },
+    /// Close the open row of `bank`.
+    Precharge {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// A column access to the open row of `bank`.
+    Column {
+        /// Target bank.
+        bank: BankId,
+        /// Read or write.
+        kind: ColKind,
+    },
+}
+
+impl DramCommand {
+    /// Convenience constructor for a column access.
+    #[must_use]
+    pub fn column(bank: BankId, kind: ColKind) -> Self {
+        DramCommand::Column { bank, kind }
+    }
+
+    /// The bank the command targets.
+    #[must_use]
+    pub fn bank(&self) -> BankId {
+        match self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Precharge { bank }
+            | DramCommand::Column { bank, .. } => *bank,
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Activate { bank, row } => write!(f, "ACT b{} r{row}", bank.0),
+            DramCommand::Precharge { bank } => write!(f, "PRE b{}", bank.0),
+            DramCommand::Column { bank, kind: ColKind::Read } => write!(f, "RD b{}", bank.0),
+            DramCommand::Column { bank, kind: ColKind::Write } => write!(f, "WR b{}", bank.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_accessor() {
+        assert_eq!(DramCommand::Activate { bank: BankId(3), row: 9 }.bank(), BankId(3));
+        assert_eq!(DramCommand::Precharge { bank: BankId(1) }.bank(), BankId(1));
+        assert_eq!(DramCommand::column(BankId(2), ColKind::Read).bank(), BankId(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DramCommand::Activate { bank: BankId(0), row: 7 }.to_string(), "ACT b0 r7");
+        assert_eq!(DramCommand::column(BankId(5), ColKind::Write).to_string(), "WR b5");
+        assert_eq!(DramCommand::Precharge { bank: BankId(4) }.to_string(), "PRE b4");
+    }
+}

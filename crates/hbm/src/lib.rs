@@ -1,0 +1,40 @@
+//! # HBM DRAM model for the OrderLight reproduction
+//!
+//! A bank-state-machine DRAM timing model plus a functional byte-accurate
+//! backing store, configured with the paper's Table 1 HBM parameters
+//! (850 MHz, 16 channels, 16 banks/channel, 32 B bus, 2 KB rows).
+//!
+//! * [`timing`] — [`TimingParams`] with the Table 1 values and the
+//!   analytic Figure 11 row-window computation.
+//! * [`command`] — the DRAM command vocabulary (ACT/PRE/RD/WR).
+//! * [`bank`] — per-bank state machine enforcing
+//!   tRCD/tRAS/tRP/tRC/tRTP/tWTP.
+//! * [`channel`] — a channel: banks plus shared command/data-bus
+//!   constraints (tCCDL, tRRD) and the functional store.
+//! * [`storage`] — the byte-accurate row store (real data, so ordering
+//!   violations become observable as wrong results).
+//!
+//! # Example
+//!
+//! ```
+//! use orderlight_hbm::{Channel, DramCommand, ColKind, TimingParams};
+//! use orderlight::types::BankId;
+//!
+//! let mut ch = Channel::new(TimingParams::hbm_table1(), 16, 2048);
+//! // Open row 3 of bank 0 and wait out tRCD, then a write is legal.
+//! assert!(ch.try_issue(DramCommand::Activate { bank: BankId(0), row: 3 }, 0));
+//! assert!(!ch.try_issue(DramCommand::column(BankId(0), ColKind::Write), 5));
+//! assert!(ch.try_issue(DramCommand::column(BankId(0), ColKind::Write), 9));
+//! ```
+
+pub mod bank;
+pub mod channel;
+pub mod command;
+pub mod storage;
+pub mod timing;
+
+pub use bank::{Bank, BankState};
+pub use channel::{Channel, NeededCommand, RefreshParams};
+pub use command::{ColKind, DramCommand};
+pub use storage::FunctionalStore;
+pub use timing::TimingParams;

@@ -1,0 +1,201 @@
+//! DRAM timing parameters (paper Table 1, memory-clock cycles).
+//!
+//! ```text
+//! CCD=1 : RRD=3 : RCDW=9 : RAS=28 : RP=12 :
+//! CL=12 : WL=2 : CDLR=3 : WR=10 : CCDL=2 : WTP=9
+//! ```
+//!
+//! Figure 11 of the paper derives the peak PIM command bandwidth from
+//! these numbers: opening the row for vector *p* (tRCDW = 9), eight
+//! 32 B column writes spaced tCCD = 2 apart (7 gaps = 14 cycles), write
+//! recovery (tWP = 9) and precharge (tRP = 12) — a 44-cycle window for 8
+//! commands, i.e. `8/44 x 850 MHz x 16 channels ≈ 2.5 GC/s` (the paper
+//! quotes ~2.3 GC/s accounting for scheduling slack).
+//! [`TimingParams::row_window_writes`] reproduces that arithmetic and is
+//! cross-checked against the simulated bank state machine in the tests of
+//! [`crate::channel`].
+
+use orderlight::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters in memory-clock cycles.
+///
+/// Two values are not given by Table 1 and are documented additions:
+/// `rcd_rd` (ACT-to-read delay; Table 1 only lists the write variant
+/// RCDW) and `rtp` (read-to-precharge). Both default to typical HBM
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Column-to-column spacing, different bank group (tCCD, "CCD=1").
+    pub ccd: u64,
+    /// Column-to-column spacing on the shared channel bus (tCCDL,
+    /// "CCDL=2"). This is the spacing Figure 11 uses between back-to-back
+    /// PIM column commands.
+    pub ccdl: u64,
+    /// ACT-to-ACT, different banks of one channel (tRRD, "RRD=3").
+    pub rrd: u64,
+    /// ACT-to-write delay (tRCDW, "RCDW=9").
+    pub rcd_wr: u64,
+    /// ACT-to-read delay (documented addition; Table 1 lists only RCDW).
+    pub rcd_rd: u64,
+    /// Minimum row-open time before precharge (tRAS, "RAS=28").
+    pub ras: u64,
+    /// Precharge period (tRP, "RP=12").
+    pub rp: u64,
+    /// Read (CAS) latency (tCL, "CL=12").
+    pub cl: u64,
+    /// Write latency (tWL, "WL=2").
+    pub wl: u64,
+    /// Read-to-write turnaround, same bank (tCDLR, "CDLR=3").
+    pub cdlr: u64,
+    /// Write recovery (tWR, "WR=10").
+    pub wr: u64,
+    /// Write-to-precharge (tWTP, "WTP=9"). Figure 11's "t_wp".
+    pub wtp: u64,
+    /// Read-to-precharge (tRTP; documented addition).
+    pub rtp: u64,
+}
+
+impl TimingParams {
+    /// The paper's Table 1 HBM timing.
+    #[must_use]
+    pub fn hbm_table1() -> Self {
+        TimingParams {
+            ccd: 1,
+            ccdl: 2,
+            rrd: 3,
+            rcd_wr: 9,
+            rcd_rd: 9,
+            ras: 28,
+            rp: 12,
+            cl: 12,
+            wl: 2,
+            cdlr: 3,
+            wr: 10,
+            wtp: 9,
+            rtp: 4,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] if any parameter is zero where a zero makes
+    /// the state machine degenerate, or if tRAS < tRCD (a row would have
+    /// to close before its first column access).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ccdl == 0 || self.rp == 0 || self.ras == 0 {
+            return Err(ConfigError::new("ccdl, rp, ras must be non-zero"));
+        }
+        if self.ras < self.rcd_wr.max(self.rcd_rd) {
+            return Err(ConfigError::new("ras must cover the act-to-column delay"));
+        }
+        Ok(())
+    }
+
+    /// ACT-to-ACT delay for the *same* bank (tRC = tRAS + tRP).
+    #[must_use]
+    pub fn rc(&self) -> u64 {
+        self.ras + self.rp
+    }
+
+    /// The Figure 11 analysis: memory cycles to open a row, issue
+    /// `n_writes` column writes, and precharge — i.e. the steady-state
+    /// per-row window when streaming writes with row switches.
+    ///
+    /// `rcd_wr + (n-1)*ccdl + wtp + rp`.
+    #[must_use]
+    pub fn row_window_writes(&self, n_writes: u64) -> u64 {
+        assert!(n_writes > 0, "window needs at least one write");
+        self.rcd_wr + (n_writes - 1) * self.ccdl + self.wtp + self.rp
+    }
+
+    /// Same-row window for `n_reads` column reads.
+    #[must_use]
+    pub fn row_window_reads(&self, n_reads: u64) -> u64 {
+        assert!(n_reads > 0, "window needs at least one read");
+        self.rcd_rd + (n_reads - 1) * self.ccdl + self.rtp + self.rp
+    }
+
+    /// Peak PIM command bandwidth in commands/second for a workload whose
+    /// steady state issues `cmds_per_window` commands per
+    /// `window_cycles`-cycle row window, across `channels` channels at
+    /// `mem_freq_hz`.
+    #[must_use]
+    pub fn peak_command_bandwidth(
+        &self,
+        cmds_per_window: u64,
+        window_cycles: u64,
+        channels: u64,
+        mem_freq_hz: f64,
+    ) -> f64 {
+        cmds_per_window as f64 / window_cycles as f64 * mem_freq_hz * channels as f64
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::hbm_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = TimingParams::hbm_table1();
+        assert_eq!(t.ccd, 1);
+        assert_eq!(t.ccdl, 2);
+        assert_eq!(t.rrd, 3);
+        assert_eq!(t.rcd_wr, 9);
+        assert_eq!(t.ras, 28);
+        assert_eq!(t.rp, 12);
+        assert_eq!(t.cl, 12);
+        assert_eq!(t.wl, 2);
+        assert_eq!(t.cdlr, 3);
+        assert_eq!(t.wr, 10);
+        assert_eq!(t.wtp, 9);
+        assert_eq!(t.rc(), 40);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn figure11_window_is_44_cycles() {
+        let t = TimingParams::hbm_table1();
+        // 9 (tRCDW) + 7*2 (tCCD gaps) + 9 (tWP) + 12 (tRP) = 44.
+        assert_eq!(t.row_window_writes(8), 44);
+    }
+
+    #[test]
+    fn figure11_peak_bandwidth_about_2_5_gcs() {
+        let t = TimingParams::hbm_table1();
+        let w = t.row_window_writes(8);
+        let peak = t.peak_command_bandwidth(8, w, 16, 850e6);
+        // 8/44 * 850 MHz * 16 ≈ 2.47 GC/s (paper quotes ~2.3 GC/s).
+        assert!((peak / 1e9 - 2.47).abs() < 0.05, "peak = {peak}");
+    }
+
+    #[test]
+    fn read_window_uses_read_params() {
+        let t = TimingParams::hbm_table1();
+        assert_eq!(t.row_window_reads(8), t.rcd_rd + 14 + t.rtp + t.rp);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        let mut t = TimingParams::hbm_table1();
+        t.ccdl = 0;
+        assert!(t.validate().is_err());
+        let mut t = TimingParams::hbm_table1();
+        t.ras = 5;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one write")]
+    fn zero_write_window_panics() {
+        let _ = TimingParams::hbm_table1().row_window_writes(0);
+    }
+}

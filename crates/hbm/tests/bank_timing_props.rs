@@ -1,0 +1,126 @@
+//! Property-based tests of the DRAM timing state machine: no random
+//! command schedule, however adversarial, can violate the JEDEC-style
+//! spacing rules the model enforces.
+
+use orderlight::types::BankId;
+use orderlight_hbm::{Channel, ColKind, DramCommand, TimingParams};
+use proptest::prelude::*;
+
+/// A random intent the driver tries at each step.
+#[derive(Debug, Clone, Copy)]
+enum Intent {
+    Act { bank: u8, row: u32 },
+    Col { bank: u8, write: bool },
+    Pre { bank: u8 },
+    Wait,
+}
+
+fn intent() -> impl Strategy<Value = Intent> {
+    prop_oneof![
+        (0u8..4, 0u32..4).prop_map(|(bank, row)| Intent::Act { bank, row }),
+        (0u8..4, any::<bool>()).prop_map(|(bank, write)| Intent::Col { bank, write }),
+        (0u8..4).prop_map(|bank| Intent::Pre { bank }),
+        Just(Intent::Wait),
+    ]
+}
+
+proptest! {
+    /// Whatever the driver attempts, `try_issue` only ever applies legal
+    /// commands (the strict state machine would panic otherwise), and
+    /// the recorded issue times respect every pairwise spacing rule.
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn random_schedules_respect_all_timing(intents in proptest::collection::vec(intent(), 1..400)) {
+        let t = TimingParams::hbm_table1();
+        let mut ch = Channel::new(t, 4, 2048);
+        let mut now = 0u64;
+        let mut acts: Vec<(u64, u8)> = Vec::new();
+        let mut cols: Vec<(u64, u8)> = Vec::new();
+        for i in intents {
+            match i {
+                Intent::Act { bank, row } => {
+                    if ch.try_issue(DramCommand::Activate { bank: BankId(bank), row }, now) {
+                        acts.push((now, bank));
+                    }
+                }
+                Intent::Col { bank, write } => {
+                    let kind = if write { ColKind::Write } else { ColKind::Read };
+                    if ch.try_issue(DramCommand::column(BankId(bank), kind), now) {
+                        cols.push((now, bank));
+                    }
+                }
+                Intent::Pre { bank } => {
+                    let _ = ch.try_issue(DramCommand::Precharge { bank: BankId(bank) }, now);
+                }
+                Intent::Wait => {}
+            }
+            now += 1;
+        }
+        // ACT-to-ACT: tRRD across banks, tRC within a bank.
+        for w in acts.windows(2) {
+            prop_assert!(w[1].0 - w[0].0 >= t.rrd, "tRRD violated");
+        }
+        for bank in 0..4u8 {
+            let mine: Vec<u64> = acts.iter().filter(|(_, b)| *b == bank).map(|(c, _)| *c).collect();
+            for w in mine.windows(2) {
+                prop_assert!(w[1] - w[0] >= t.rc(), "tRC violated on bank {bank}");
+            }
+        }
+        // Column-to-column: tCCD on the channel, tCCDL within a bank.
+        for w in cols.windows(2) {
+            prop_assert!(w[1].0 - w[0].0 >= t.ccd, "tCCD violated");
+        }
+        for bank in 0..4u8 {
+            let mine: Vec<u64> = cols.iter().filter(|(_, b)| *b == bank).map(|(c, _)| *c).collect();
+            for w in mine.windows(2) {
+                prop_assert!(w[1] - w[0] >= t.ccdl, "tCCDL violated on bank {bank}");
+            }
+        }
+    }
+
+    /// A greedy single-bank write stream can never beat the analytic
+    /// Figure 11 window, whatever the burst length.
+    #[test]
+    fn greedy_stream_never_beats_the_analytic_window(writes_per_row in 1u64..32) {
+        let t = TimingParams::hbm_table1();
+        let mut ch = Channel::new(t, 16, 2048);
+        let mut now = 0u64;
+        let mut acts = Vec::new();
+        for row in 0..3u32 {
+            while !ch.try_issue(DramCommand::Activate { bank: BankId(0), row }, now) {
+                now += 1;
+            }
+            acts.push(now);
+            let mut writes = 0;
+            while writes < writes_per_row {
+                if ch.try_issue(DramCommand::column(BankId(0), ColKind::Write), now) {
+                    writes += 1;
+                }
+                now += 1;
+            }
+            while !ch.try_issue(DramCommand::Precharge { bank: BankId(0) }, now) {
+                now += 1;
+            }
+        }
+        let analytic = t.row_window_writes(writes_per_row).max(t.rc());
+        for w in acts.windows(2) {
+            prop_assert!(w[1] - w[0] >= analytic, "window {} < analytic {analytic}", w[1] - w[0]);
+        }
+    }
+
+    /// The functional store returns exactly what was last written, per
+    /// location, under arbitrary write sequences.
+    #[test]
+    fn store_is_a_map(ops in proptest::collection::vec((0u8..4, 0u32..8, 0u16..64, any::<u32>()), 1..200)) {
+        use orderlight::types::Stripe;
+        let mut s = orderlight_hbm::FunctionalStore::new(2048);
+        let mut model = std::collections::HashMap::new();
+        for (bank, row, col, v) in ops {
+            s.write(BankId(bank), row, col, Stripe::splat(v));
+            model.insert((bank, row, col), v);
+        }
+        for ((bank, row, col), v) in model {
+            prop_assert_eq!(s.read(BankId(bank), row, col), Stripe::splat(v));
+        }
+    }
+}

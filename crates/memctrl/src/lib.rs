@@ -1,0 +1,30 @@
+//! # Memory controller with memory-centric ordering (paper Section 5.3.2)
+//!
+//! The controller owns one HBM [`orderlight_hbm::Channel`] and its
+//! (representative) [`orderlight_pim::PimUnit`]. Requests arrive from the
+//! memory pipe into separate read and write transaction queues (Table 1:
+//! 64 entries each); an FR-FCFS scheduler dequeues them into per-bank
+//! command queues and issues DRAM commands subject to timing.
+//!
+//! Two ordering mechanisms are implemented:
+//!
+//! * **OrderLight** — an in-band packet is copied into both transaction
+//!   queues ([`orderlight::fsm::diverge`]), merged at the scheduler stage,
+//!   and then enforced with a per-memory-group *(flag, in-flight counter)*
+//!   pair: requests behind the packet are not scheduled until every
+//!   request ahead of it has been issued to the DRAM. Requests of other
+//!   memory groups are never constrained.
+//! * **Fence acknowledgement** — the baseline core-centric fence. A fence
+//!   probe arriving at the controller is acknowledged once every prior
+//!   request from the fencing warp has been issued to the DRAM; the warp
+//!   stalls until the ack reaches it back up the pipe.
+
+pub mod mc;
+pub mod ordering;
+pub mod queues;
+pub mod txn;
+
+pub use mc::{IssueRecord, McConfig, McStats, MemoryController, PagePolicy};
+pub use ordering::{FenceTracker, GroupOrdering};
+pub use queues::{QueueEntry, TransQueue};
+pub use txn::Transaction;

@@ -1,0 +1,384 @@
+//! Scheduler-side ordering state: OrderLight barriers per memory group
+//! and the fence-acknowledgement tracker.
+
+use orderlight::fsm::MergeFsm;
+use orderlight::message::{Marker, MarkerCopy};
+use orderlight::packet::OrderLightPacket;
+use orderlight::types::{GlobalWarpId, MemGroupId};
+use std::collections::HashMap;
+
+/// Maximum memory groups addressable by the 4-bit group-ID field.
+pub const MAX_GROUPS: usize = 16;
+
+/// One active OrderLight barrier: the packet's constrained groups and
+/// how many pre-packet requests are still dequeued-but-unissued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Barrier {
+    /// Bitmask of constrained memory groups.
+    mask: u16,
+    /// Pre-packet requests (across all constrained groups) still to be
+    /// issued to the DRAM.
+    remaining: u64,
+}
+
+/// Per-memory-group OrderLight enforcement (paper Section 5.3.2).
+///
+/// For each group the scheduler keeps a *request counter* (requests
+/// dequeued into bank command queues but not yet issued to the DRAM).
+/// When an OrderLight packet merges at the scheduler stage, a *barrier*
+/// is raised over the packet's group set, initialised with the combined
+/// in-flight count; requests of a flagged group are not scheduled until
+/// every barrier covering the group has drained. A multi-group packet
+/// (partial results of two PIM kernels, Section 5.3.1) therefore orders
+/// requests *across* its groups: nothing behind the packet in any of
+/// its groups issues before everything ahead of it in all of them.
+#[derive(Debug, Clone)]
+pub struct GroupOrdering {
+    inflight: [u64; MAX_GROUPS],
+    barriers: Vec<Barrier>,
+    merge: MergeFsm,
+    last_number: [Option<u32>; MAX_GROUPS],
+    sanity_violations: u64,
+    flags_set: u64,
+    packets_merged: u64,
+}
+
+impl GroupOrdering {
+    /// Creates idle ordering state.
+    #[must_use]
+    pub fn new() -> Self {
+        GroupOrdering {
+            inflight: [0; MAX_GROUPS],
+            barriers: Vec::new(),
+            merge: MergeFsm::new(),
+            last_number: [None; MAX_GROUPS],
+            sanity_violations: 0,
+            flags_set: 0,
+            packets_merged: 0,
+        }
+    }
+
+    /// Whether requests of `group` are currently blocked by a barrier.
+    #[must_use]
+    pub fn is_blocked(&self, group: MemGroupId) -> bool {
+        let bit = 1u16 << group.0;
+        self.barriers.iter().any(|b| b.mask & bit != 0)
+    }
+
+    /// Records a request of `group` being dequeued into a bank command
+    /// queue.
+    pub fn on_dequeue(&mut self, group: MemGroupId) {
+        self.inflight[group.index()] += 1;
+    }
+
+    /// Records a request of `group` being issued to the DRAM (or, for an
+    /// execute-only command, to the PIM unit); drains every barrier
+    /// covering the group and clears those that complete.
+    pub fn on_issue(&mut self, group: MemGroupId) {
+        let g = group.index();
+        debug_assert!(self.inflight[g] > 0, "issue without matching dequeue");
+        self.inflight[g] -= 1;
+        let bit = 1u16 << group.0;
+        for b in &mut self.barriers {
+            if b.mask & bit != 0 {
+                debug_assert!(b.remaining > 0, "barrier drained twice");
+                b.remaining -= 1;
+            }
+        }
+        self.barriers.retain(|b| b.remaining > 0);
+    }
+
+    /// Feeds one OrderLight marker copy popped from a transaction queue.
+    ///
+    /// Returns the merged packet when the final copy arrives; at that
+    /// point a barrier over the packet's groups is raised (if anything
+    /// is in flight) and the packet number is sanity-checked for
+    /// per-group monotonicity.
+    pub fn on_marker_copy(&mut self, copy: &MarkerCopy) -> Option<OrderLightPacket> {
+        let merged = self.merge.on_copy(copy)?;
+        let Marker::OrderLight(packet) = merged else {
+            return None; // fence probes are handled by the FenceTracker
+        };
+        self.packets_merged += 1;
+        let mut mask = 0u16;
+        let mut remaining = 0u64;
+        for group in packet.groups() {
+            let g = group.index();
+            if let Some(last) = self.last_number[g] {
+                if packet.number() <= last {
+                    self.sanity_violations += 1;
+                }
+            }
+            self.last_number[g] = Some(packet.number());
+            if mask & (1 << group.0) == 0 {
+                remaining += self.inflight[g];
+            }
+            mask |= 1 << group.0;
+        }
+        if remaining > 0 {
+            self.barriers.push(Barrier { mask, remaining });
+            self.flags_set += 1;
+        }
+        Some(packet)
+    }
+
+    /// In-flight (dequeued but unissued) count for `group`.
+    #[must_use]
+    pub fn inflight(&self, group: MemGroupId) -> u64 {
+        self.inflight[group.index()]
+    }
+
+    /// Completed packet merges.
+    #[must_use]
+    pub fn packets_merged(&self) -> u64 {
+        self.packets_merged
+    }
+
+    /// How many barriers actually had to block something.
+    #[must_use]
+    pub fn flags_set(&self) -> u64 {
+        self.flags_set
+    }
+
+    /// Packet-number monotonicity violations observed.
+    #[must_use]
+    pub fn sanity_violations(&self) -> u64 {
+        self.sanity_violations
+    }
+
+    /// Whether all state is drained (no barriers, no in-flight, no
+    /// partial merges).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.barriers.is_empty()
+            && self.inflight.iter().all(|c| *c == 0)
+            && self.merge.pending() == 0
+    }
+}
+
+impl Default for GroupOrdering {
+    fn default() -> Self {
+        GroupOrdering::new()
+    }
+}
+
+/// A fence awaiting acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingFence {
+    warp: GlobalWarpId,
+    fence_id: u64,
+    /// Ack fires once the warp's issued count reaches this target.
+    target_issued: u64,
+}
+
+/// Tracks per-warp request progress to generate fence acknowledgements.
+///
+/// The baseline fence semantics (paper Section 6, "Baseline
+/// Limitations"): the warp may not proceed until all of its prior memory
+/// requests have been issued to the memory. The tracker counts, per warp,
+/// requests *arrived* at the controller and requests *issued* to the
+/// DRAM; a probe snapshots the arrived count and is acknowledged once the
+/// issued count catches up.
+#[derive(Debug, Clone, Default)]
+pub struct FenceTracker {
+    arrived: HashMap<GlobalWarpId, u64>,
+    issued: HashMap<GlobalWarpId, u64>,
+    pending: Vec<PendingFence>,
+    acks: u64,
+}
+
+impl FenceTracker {
+    /// Creates an idle tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        FenceTracker::default()
+    }
+
+    /// Records a request from `warp` arriving at the controller.
+    pub fn on_arrival(&mut self, warp: GlobalWarpId) {
+        *self.arrived.entry(warp).or_insert(0) += 1;
+    }
+
+    /// Registers a fence probe. Returns `true` if it can be acknowledged
+    /// immediately (nothing outstanding).
+    pub fn on_probe(&mut self, warp: GlobalWarpId, fence_id: u64) -> bool {
+        let target = self.arrived.get(&warp).copied().unwrap_or(0);
+        if self.issued.get(&warp).copied().unwrap_or(0) >= target {
+            self.acks += 1;
+            true
+        } else {
+            self.pending.push(PendingFence { warp, fence_id, target_issued: target });
+            false
+        }
+    }
+
+    /// Records a request from `warp` being issued to the DRAM; returns
+    /// the `(warp, fence_id)` of every fence that thereby completes.
+    pub fn on_issue(&mut self, warp: GlobalWarpId) -> Vec<(GlobalWarpId, u64)> {
+        let issued = self.issued.entry(warp).or_insert(0);
+        *issued += 1;
+        let now = *issued;
+        let mut done = Vec::new();
+        self.pending.retain(|p| {
+            if p.warp == warp && now >= p.target_issued {
+                done.push((p.warp, p.fence_id));
+                false
+            } else {
+                true
+            }
+        });
+        self.acks += done.len() as u64;
+        done
+    }
+
+    /// Number of fences still awaiting acknowledgement.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total acknowledgements generated.
+    #[must_use]
+    pub fn acks(&self) -> u64 {
+        self.acks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::fsm::diverge;
+    use orderlight::types::ChannelId;
+
+    fn ol_copies(group: u8, number: u32) -> Vec<MarkerCopy> {
+        diverge(
+            Marker::OrderLight(OrderLightPacket::new(ChannelId(0), MemGroupId(group), number)),
+            2,
+        )
+    }
+
+    #[test]
+    fn flag_set_only_with_inflight_work() {
+        let mut ord = GroupOrdering::new();
+        let copies = ol_copies(0, 1);
+        assert!(ord.on_marker_copy(&copies[0]).is_none());
+        assert!(ord.on_marker_copy(&copies[1]).is_some());
+        // Nothing in flight: no barrier raised.
+        assert!(!ord.is_blocked(MemGroupId(0)));
+        assert_eq!(ord.packets_merged(), 1);
+        assert_eq!(ord.flags_set(), 0);
+    }
+
+    #[test]
+    fn flag_blocks_until_inflight_drains() {
+        let mut ord = GroupOrdering::new();
+        ord.on_dequeue(MemGroupId(0));
+        ord.on_dequeue(MemGroupId(0));
+        for c in ol_copies(0, 1) {
+            ord.on_marker_copy(&c);
+        }
+        assert!(ord.is_blocked(MemGroupId(0)));
+        assert!(!ord.is_blocked(MemGroupId(1)), "other groups unconstrained");
+        ord.on_issue(MemGroupId(0));
+        assert!(ord.is_blocked(MemGroupId(0)), "one request still in flight");
+        ord.on_issue(MemGroupId(0));
+        assert!(!ord.is_blocked(MemGroupId(0)));
+        assert!(ord.is_idle());
+    }
+
+    #[test]
+    fn sanity_check_flags_non_monotonic_numbers() {
+        let mut ord = GroupOrdering::new();
+        for c in ol_copies(0, 5) {
+            ord.on_marker_copy(&c);
+        }
+        for c in ol_copies(0, 4) {
+            ord.on_marker_copy(&c);
+        }
+        assert_eq!(ord.sanity_violations(), 1);
+    }
+
+    #[test]
+    fn multi_group_packet_is_a_joint_barrier() {
+        // The cross-kernel use case: group 2's request must drain before
+        // group 0 unblocks, and vice versa — one barrier over both.
+        let mut ord = GroupOrdering::new();
+        ord.on_dequeue(MemGroupId(0));
+        ord.on_dequeue(MemGroupId(2));
+        let pkt = OrderLightPacket::with_groups(
+            ChannelId(0),
+            MemGroupId(0),
+            &[MemGroupId(2)],
+            1,
+        )
+        .unwrap();
+        for c in diverge(Marker::OrderLight(pkt), 2) {
+            ord.on_marker_copy(&c);
+        }
+        assert!(ord.is_blocked(MemGroupId(0)));
+        assert!(ord.is_blocked(MemGroupId(2)));
+        assert!(!ord.is_blocked(MemGroupId(1)));
+        // Draining only group 0 keeps BOTH groups blocked: the packet
+        // ordered group 0's followers behind group 2's in-flight work.
+        ord.on_issue(MemGroupId(0));
+        assert!(ord.is_blocked(MemGroupId(0)), "joint barrier still waits on group 2");
+        assert!(ord.is_blocked(MemGroupId(2)));
+        ord.on_issue(MemGroupId(2));
+        assert!(!ord.is_blocked(MemGroupId(0)));
+        assert!(!ord.is_blocked(MemGroupId(2)));
+        assert!(ord.is_idle());
+    }
+
+    #[test]
+    fn stacked_barriers_drain_independently() {
+        let mut ord = GroupOrdering::new();
+        ord.on_dequeue(MemGroupId(0));
+        for c in ol_copies(0, 1) {
+            ord.on_marker_copy(&c);
+        }
+        // A second packet merges while the first barrier is active (no
+        // requests between them): it sees the same in-flight request.
+        for c in ol_copies(0, 2) {
+            ord.on_marker_copy(&c);
+        }
+        assert!(ord.is_blocked(MemGroupId(0)));
+        ord.on_issue(MemGroupId(0));
+        assert!(!ord.is_blocked(MemGroupId(0)), "both barriers drained by the issue");
+        assert!(ord.is_idle());
+    }
+
+    #[test]
+    fn fence_ack_waits_for_issue() {
+        let mut f = FenceTracker::new();
+        let w = GlobalWarpId::new(0, 0);
+        f.on_arrival(w);
+        f.on_arrival(w);
+        assert!(!f.on_probe(w, 7));
+        assert_eq!(f.pending(), 1);
+        assert!(f.on_issue(w).is_empty());
+        assert_eq!(f.on_issue(w), vec![(w, 7)]);
+        assert_eq!(f.pending(), 0);
+        assert_eq!(f.acks(), 1);
+    }
+
+    #[test]
+    fn fence_with_nothing_outstanding_acks_immediately() {
+        let mut f = FenceTracker::new();
+        let w = GlobalWarpId::new(0, 1);
+        assert!(f.on_probe(w, 1));
+        f.on_arrival(w);
+        f.on_issue(w);
+        assert!(f.on_probe(w, 2), "caught up again");
+    }
+
+    #[test]
+    fn fences_track_warps_independently() {
+        let mut f = FenceTracker::new();
+        let w0 = GlobalWarpId::new(0, 0);
+        let w1 = GlobalWarpId::new(0, 1);
+        f.on_arrival(w0);
+        assert!(!f.on_probe(w0, 1));
+        assert!(f.on_probe(w1, 2), "other warp unaffected");
+        assert_eq!(f.on_issue(w0), vec![(w0, 1)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Decoded transactions held in the per-bank command queues.
+
+use orderlight::mapping::Location;
+use orderlight::message::ReqMeta;
+use orderlight::types::{MemGroupId, Stripe};
+use orderlight::{PimInstruction, Reg};
+
+/// What kind of access a transaction performs once its row is open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A fine-grained PIM command with a DRAM column access.
+    Pim(PimInstruction),
+    /// A conventional host read; data returns to the core.
+    HostRead {
+        /// Destination register.
+        reg: Reg,
+    },
+    /// A conventional host write.
+    HostWrite {
+        /// Data to write.
+        data: Stripe,
+    },
+}
+
+/// A scheduled transaction: a decoded request waiting in a bank command
+/// queue for its DRAM commands to issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// The access kind and payload.
+    pub kind: TxnKind,
+    /// Decoded physical location.
+    pub loc: Location,
+    /// Memory group (for ordering accounting).
+    pub group: MemGroupId,
+    /// Issue metadata (for fence accounting).
+    pub meta: ReqMeta,
+    /// Arrival order stamp at the controller (FR-FCFS tiebreak).
+    pub arrival: u64,
+}
+
+impl Transaction {
+    /// Whether the column access is a write.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        match &self.kind {
+            TxnKind::Pim(instr) => instr.op.is_dram_write(),
+            TxnKind::HostRead { .. } => false,
+            TxnKind::HostWrite { .. } => true,
+        }
+    }
+
+    /// Whether this is a PIM command (for command-bandwidth accounting).
+    #[must_use]
+    pub fn is_pim(&self) -> bool {
+        matches!(self.kind, TxnKind::Pim(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::types::{Addr, BankId, ChannelId, GlobalWarpId, TsSlot};
+    use orderlight::{AluOp, PimOp};
+
+    fn loc() -> Location {
+        Location { channel: ChannelId(0), bank: BankId(0), row: 0, col: 0 }
+    }
+
+    fn meta() -> ReqMeta {
+        ReqMeta { warp: GlobalWarpId(0), seq: 0 }
+    }
+
+    #[test]
+    fn write_classification() {
+        let t = Transaction {
+            kind: TxnKind::Pim(PimInstruction {
+                op: PimOp::Store,
+                addr: Addr(0),
+                slot: TsSlot(0),
+                group: MemGroupId(0),
+            }),
+            loc: loc(),
+            group: MemGroupId(0),
+            meta: meta(),
+            arrival: 0,
+        };
+        assert!(t.is_write());
+        assert!(t.is_pim());
+        let t = Transaction { kind: TxnKind::HostRead { reg: Reg(1) }, ..t };
+        assert!(!t.is_write());
+        assert!(!t.is_pim());
+        let t = Transaction { kind: TxnKind::HostWrite { data: Stripe::default() }, ..t };
+        assert!(t.is_write());
+        let t = Transaction {
+            kind: TxnKind::Pim(PimInstruction {
+                op: PimOp::Compute(AluOp::Add),
+                addr: Addr(0),
+                slot: TsSlot(0),
+                group: MemGroupId(0),
+            }),
+            ..t
+        };
+        assert!(!t.is_write(), "fetch-and-op is read-like");
+    }
+}

@@ -1,0 +1,32 @@
+//! # The GPU memory pipe (paper Figure 6)
+//!
+//! Models the path from a streaming multiprocessor to one channel's
+//! memory controller:
+//!
+//! ```text
+//! SM → interconnect queue (120 core cycles)
+//!    → L2 slice: 2 sub-partitions (divergence point #1, PIM bypasses)
+//!    → L2-to-DRAM queue (100 core cycles)
+//!    → memory controller
+//! ```
+//!
+//! plus the response path back up (load data, fence acks). Ordering
+//! markers are copied onto both L2 sub-partitions and merged at the
+//! slice's exit with the copy-and-merge FSM of [`orderlight::fsm`];
+//! requests that follow a marker copy in a sub-partition are not allowed
+//! past the convergence point until all copies have merged.
+//!
+//! PIM requests behave like non-temporal accesses: they bypass the cache
+//! arrays and only traverse the queues (paper Section 5.3.2, "Caches").
+//! Host streaming traffic is modelled the same way — the evaluated
+//! workloads are single-pass streams with no reuse, so an L2 data array
+//! would only add a constant latency already folded into the queue
+//! latencies.
+
+pub mod delay_queue;
+pub mod l2;
+pub mod pipe;
+
+pub use delay_queue::DelayQueue;
+pub use l2::L2Slice;
+pub use pipe::{MemoryPipe, PipeConfig};

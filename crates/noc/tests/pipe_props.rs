@@ -1,0 +1,116 @@
+//! Property-based tests of the memory pipe's ordering contract: markers
+//! never reorder against anything; requests never reorder against
+//! markers; every item is delivered exactly once.
+
+use orderlight::message::{Marker, MarkerCopy, MemReq, ReqMeta};
+use orderlight::packet::OrderLightPacket;
+use orderlight::types::{Addr, ChannelId, GlobalWarpId, MemGroupId, TsSlot};
+use orderlight::{PimInstruction, PimOp};
+use orderlight_noc::{MemoryPipe, PipeConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    /// A PIM request; the payload picks the stripe (and therefore the
+    /// L2 sub-partition).
+    Req(u8),
+    Marker,
+}
+
+fn item() -> impl Strategy<Value = Item> {
+    prop_oneof![4 => (0u8..8).prop_map(Item::Req), 1 => Just(Item::Marker)]
+}
+
+proptest! {
+    #[test]
+    fn pipe_ordering_contract(items in proptest::collection::vec(item(), 1..80)) {
+        let mut pipe = MemoryPipe::new(&PipeConfig::default());
+        // Tag every item with its input index via the request seq /
+        // packet number.
+        let mut input = Vec::new();
+        for (i, it) in items.iter().enumerate() {
+            let req = match it {
+                Item::Req(stripe) => MemReq::Pim {
+                    instr: PimInstruction {
+                        op: PimOp::Load,
+                        addr: Addr(u64::from(*stripe) * 32),
+                        slot: TsSlot(0),
+                        group: MemGroupId(0),
+                    },
+                    meta: ReqMeta { warp: GlobalWarpId(0), seq: i as u64 },
+                },
+                Item::Marker => MemReq::Marker(MarkerCopy {
+                    marker: Marker::OrderLight(OrderLightPacket::new(
+                        ChannelId(0),
+                        MemGroupId(0),
+                        i as u32,
+                    )),
+                    total_copies: 1,
+                }),
+            };
+            input.push(req);
+        }
+        // Feed with backpressure, drain continuously.
+        let mut fed = input.clone().into_iter().peekable();
+        let mut out: Vec<MemReq> = Vec::new();
+        let mut now = 0u64;
+        while out.len() < input.len() {
+            if fed.peek().is_some() && pipe.can_push() {
+                pipe.push_request(fed.next().expect("peeked"), now);
+            }
+            pipe.tick(now);
+            while let Some(r) = pipe.pop_mc(now) {
+                out.push(r);
+            }
+            now += 1;
+            prop_assert!(now < 500_000, "pipe wedged");
+        }
+        prop_assert!(pipe.is_empty());
+
+        // Index of each output item in the input.
+        let idx_of = |r: &MemReq| -> usize {
+            match r {
+                MemReq::Pim { meta, .. } => meta.seq as usize,
+                MemReq::Marker(c) => match &c.marker {
+                    Marker::OrderLight(p) => p.number() as usize,
+                    Marker::FenceProbe { .. } => unreachable!(),
+                },
+                _ => unreachable!(),
+            }
+        };
+        let out_idx: Vec<usize> = out.iter().map(idx_of).collect();
+        // Exactly once.
+        let mut sorted = out_idx.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..input.len()).collect::<Vec<_>>());
+        // Markers are total-order barriers: for every marker at input
+        // position m, everything before m leaves before it, everything
+        // after m leaves after it.
+        for (pos, r) in out.iter().enumerate() {
+            if matches!(r, MemReq::Marker(_)) {
+                let m = idx_of(r);
+                for (other_pos, other) in out.iter().enumerate() {
+                    let o = idx_of(other);
+                    if o < m {
+                        prop_assert!(other_pos < pos, "item {o} leaked past marker {m}");
+                    } else if o > m {
+                        prop_assert!(other_pos > pos, "item {o} overtook marker {m}");
+                    }
+                }
+            }
+        }
+        // Same-sub-partition requests preserve relative order.
+        for sub in 0..2u64 {
+            let mine: Vec<usize> = out
+                .iter()
+                .filter_map(|r| match r {
+                    MemReq::Pim { instr, meta } if instr.addr.0 / 32 % 2 == sub => {
+                        Some(meta.seq as usize)
+                    }
+                    _ => None,
+                })
+                .collect();
+            prop_assert!(mine.windows(2).all(|w| w[0] < w[1]), "sub-partition {sub} reordered");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The PIM unit's SIMD ALU.
+//!
+//! Functional semantics live in [`orderlight::AluOp`] so the PIM unit,
+//! the host core and the golden-model verifier compute bit-identical
+//! results; this wrapper adds operation accounting.
+
+use orderlight::types::{Stripe, LANES};
+use orderlight::AluOp;
+
+/// A SIMD ALU executing stripe-wide lane operations.
+#[derive(Debug, Clone, Default)]
+pub struct SimdAlu {
+    ops: u64,
+}
+
+impl SimdAlu {
+    /// Creates an idle ALU.
+    #[must_use]
+    pub fn new() -> Self {
+        SimdAlu::default()
+    }
+
+    /// Executes `op` on `(acc, mem)` stripe-wide.
+    #[must_use]
+    pub fn execute(&mut self, op: AluOp, acc: Stripe, mem: Stripe) -> Stripe {
+        self.ops += 1;
+        op.apply(acc, mem)
+    }
+
+    /// Number of stripe-wide operations executed.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Number of lane operations executed (`ops x LANES`).
+    #[must_use]
+    pub fn lane_ops(&self) -> u64 {
+        self.ops * LANES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_counts_and_computes() {
+        let mut alu = SimdAlu::new();
+        let out = alu.execute(AluOp::Add, Stripe::splat(1), Stripe::splat(2));
+        assert_eq!(out, Stripe::splat(3));
+        let out = alu.execute(AluOp::ScaleImm(10), out, Stripe::default());
+        assert_eq!(out, Stripe::splat(30));
+        assert_eq!(alu.ops(), 2);
+        assert_eq!(alu.lane_ops(), 16);
+    }
+}

@@ -1,0 +1,686 @@
+//! Canned experiment runners — one per table/figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index).
+
+use crate::config::{ExecMode, ExperimentConfig, SystemConfig};
+use crate::stats::RunStats;
+use crate::system::{SimError, System};
+use orderlight::types::BankId;
+use orderlight_hbm::{Channel, ColKind, DramCommand, TimingParams};
+use orderlight_pim::TsSize;
+use orderlight_workloads::{OrderingMode, WorkloadId};
+use serde::{Deserialize, Serialize};
+
+/// One point of a design-space sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Workload run.
+    pub workload: String,
+    /// TS size label ("1/8 RB", …; "-" for GPU runs).
+    pub ts: String,
+    /// Execution mode label ("gpu", "pim-fence", "pim-orderlight", …).
+    pub mode: String,
+    /// Bandwidth multiplication factor.
+    pub bmf: u32,
+    /// Measured statistics.
+    pub stats: RunStats,
+}
+
+/// Applies the paper's SM-allocation policy (Section 6): with fences the
+/// core idles, so eight warps share an SM (2 SMs drive 16 channels);
+/// OrderLight's issue throughput needs one SM per two warps (8 SMs).
+pub fn apply_sm_policy(exp: &mut ExperimentConfig) {
+    match exp.mode {
+        ExecMode::Pim(OrderingMode::Fence) => {
+            exp.system.sms_used = 2;
+            exp.system.warps_per_sm = 8;
+        }
+        ExecMode::Pim(_) => {
+            exp.system.sms_used = 8;
+            exp.system.warps_per_sm = 2;
+        }
+        // The conventional baseline uses the whole GPU; eight warps per
+        // channel give it the memory-level parallelism a real streaming
+        // grid would have.
+        ExecMode::Gpu => {
+            exp.system.sms_used = 16;
+            exp.system.warps_per_sm = 8;
+        }
+    }
+}
+
+/// Cycle budget for a run (generous; a run that exceeds it is treated as
+/// a deadlock).
+fn budget(exp: &ExperimentConfig) -> u64 {
+    200_000_000 + exp.stripes_per_channel() * 20_000
+}
+
+/// Builds, runs and verifies one experiment.
+///
+/// # Errors
+/// Returns [`SimError`] if the system fails to drain.
+pub fn run_experiment(mut exp: ExperimentConfig) -> Result<RunStats, SimError> {
+    apply_sm_policy(&mut exp);
+    let b = budget(&exp);
+    let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
+    sys.run(b)
+}
+
+impl SimError {
+    fn from_config(e: &orderlight::ConfigError) -> SimError {
+        SimError::config(e.to_string())
+    }
+}
+
+/// Runs one `(workload, ts, mode, bmf)` point.
+///
+/// # Errors
+/// Propagates [`SimError`] from the run.
+pub fn run_point(
+    workload: WorkloadId,
+    ts: TsSize,
+    mode: ExecMode,
+    bmf: u32,
+    data_bytes_per_channel: u64,
+) -> Result<SweepPoint, SimError> {
+    let mut exp = ExperimentConfig::new(workload, mode);
+    exp.ts_size = ts;
+    exp.bmf = bmf;
+    exp.data_bytes_per_channel = data_bytes_per_channel;
+    let stats = run_experiment(exp)?;
+    Ok(SweepPoint {
+        workload: workload.to_string(),
+        ts: match mode {
+            ExecMode::Gpu => "-".to_string(),
+            ExecMode::Pim(_) => ts.to_string(),
+        },
+        mode: mode.to_string(),
+        bmf,
+        stats,
+    })
+}
+
+/// Figure 5: fence overhead for the vector-add kernel — execution time
+/// and waiting cycles per fence for {no ordering (functionally
+/// incorrect), fence at TS = 1/16..1/2 RB}.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig05(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rows = Vec::new();
+    rows.push(run_point(
+        WorkloadId::Add,
+        TsSize::Eighth,
+        ExecMode::Pim(OrderingMode::None),
+        16,
+        data_bytes_per_channel,
+    )?);
+    for ts in TsSize::ALL {
+        rows.push(run_point(
+            WorkloadId::Add,
+            ts,
+            ExecMode::Pim(OrderingMode::Fence),
+            16,
+            data_bytes_per_channel,
+        )?);
+    }
+    Ok(rows)
+}
+
+/// Figures 10a/10b: the stream benchmark sweep — every stream kernel at
+/// every TS size under fence and OrderLight, plus the GPU baseline.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig10(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rows = Vec::new();
+    for wl in WorkloadId::STREAMS {
+        rows.push(run_point(wl, TsSize::Eighth, ExecMode::Gpu, 16, data_bytes_per_channel)?);
+        for ts in TsSize::ALL {
+            for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
+                rows.push(run_point(
+                    wl,
+                    ts,
+                    ExecMode::Pim(mode),
+                    16,
+                    data_bytes_per_channel,
+                )?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 12: the application-kernel sweep (fence vs OrderLight at every
+/// TS size), whose `primitives_per_pim_instr` reproduces the line plot.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig12(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rows = Vec::new();
+    for wl in WorkloadId::APPS {
+        for ts in TsSize::ALL {
+            for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
+                rows.push(run_point(
+                    wl,
+                    ts,
+                    ExecMode::Pim(mode),
+                    16,
+                    data_bytes_per_channel,
+                )?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 13: bandwidth-multiplication-factor sweep (4x/8x/16x) for the
+/// Add kernel under fence and OrderLight.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig13(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rows = Vec::new();
+    for bmf in [4u32, 8, 16] {
+        for ts in TsSize::ALL {
+            for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
+                rows.push(run_point(
+                    WorkloadId::Add,
+                    ts,
+                    ExecMode::Pim(mode),
+                    bmf,
+                    data_bytes_per_channel,
+                )?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 11: the DRAM timing window — analytic and micro-simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Analytic window: tRCDW + 7·tCCD + tWP + tRP.
+    pub analytic_window: u64,
+    /// The same window measured on the simulated bank state machine.
+    pub simulated_window: u64,
+    /// Column writes per window.
+    pub writes_per_window: u64,
+    /// Peak command bandwidth over 16 channels, GC/s.
+    pub peak_command_gcs: f64,
+}
+
+/// Computes Figure 11 both analytically and by driving the bank state
+/// machine, asserting they agree.
+#[must_use]
+pub fn fig11() -> Fig11 {
+    let t = TimingParams::hbm_table1();
+    let analytic = t.row_window_writes(8);
+    // Micro-sim: stream two rows of 8 writes through one bank and
+    // measure the ACT-to-ACT spacing.
+    let mut ch = Channel::new(t, 16, 2048);
+    let mut now = 0;
+    let mut acts = Vec::new();
+    for row in 0..2u32 {
+        while !ch.try_issue(DramCommand::Activate { bank: BankId(0), row }, now) {
+            now += 1;
+        }
+        acts.push(now);
+        let mut writes = 0;
+        while writes < 8 {
+            if ch.try_issue(DramCommand::column(BankId(0), ColKind::Write), now) {
+                writes += 1;
+            }
+            now += 1;
+        }
+        while !ch.try_issue(DramCommand::Precharge { bank: BankId(0) }, now) {
+            now += 1;
+        }
+    }
+    let simulated = acts[1] - acts[0];
+    Fig11 {
+        analytic_window: analytic,
+        simulated_window: simulated,
+        writes_per_window: 8,
+        peak_command_gcs: t.peak_command_bandwidth(8, analytic, 16, 850e6) / 1e9,
+    }
+}
+
+/// The arbitration-granularity ablation (Sections 3.2/3.5): mean host
+/// read latency while a PIM kernel saturates the same channels, under
+/// fine-grained arbitration (host requests interleave) versus
+/// coarse-grained arbitration (host requests blocked until PIM
+/// completes, modelled as queueing the host work after the PIM run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArbitrationAblation {
+    /// Mean host read latency (memory cycles) with fine-grained
+    /// arbitration.
+    pub fga_mean_host_latency: f64,
+    /// Host latency under coarse-grained arbitration: the whole PIM
+    /// kernel's execution time stands between the host and its data.
+    pub cga_host_wait_cycles: u64,
+    /// PIM execution time (core cycles) used for the CGA bound.
+    pub pim_exec_cycles: u64,
+}
+
+/// Runs the arbitration ablation (see [`ArbitrationAblation`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_arbitration(data_bytes_per_channel: u64) -> Result<ArbitrationAblation, SimError> {
+    // Fine-grained: host traffic to memory group 1 interleaves with the
+    // PIM kernel in group 0. We approximate the host stream with the
+    // Copy workload placed in GPU mode on the same system size, and
+    // measure its mean service latency when run alone (the FGA latency
+    // for group-1 requests is unaffected by group-0 OrderLight packets —
+    // asserted by unit tests in `orderlight-memctrl`).
+    let mut gpu = ExperimentConfig::new(WorkloadId::Copy, ExecMode::Gpu);
+    gpu.data_bytes_per_channel = data_bytes_per_channel;
+    let gpu_stats = run_experiment(gpu)?;
+    let fga_mean = if gpu_stats.mc.host_reads == 0 {
+        0.0
+    } else {
+        gpu_stats.mc.host_read_latency_sum as f64 / gpu_stats.mc.host_reads as f64
+    };
+    // Coarse-grained: the host waits out the whole PIM kernel.
+    let mut pim = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+    pim.data_bytes_per_channel = data_bytes_per_channel;
+    let pim_stats = run_experiment(pim)?;
+    Ok(ArbitrationAblation {
+        fga_mean_host_latency: fga_mean,
+        cga_host_wait_cycles: pim_stats.core_cycles,
+        pim_exec_cycles: pim_stats.core_cycles,
+    })
+}
+
+/// One row of the sequence-number (Kim et al. (paper reference 27)) comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqNumRow {
+    /// Configuration label ("orderlight", "seqnum B=8", ...).
+    pub label: String,
+    /// Execution time (ms).
+    pub exec_time_ms: f64,
+    /// PIM command bandwidth (GC/s).
+    pub command_gcs: f64,
+    /// Core cycles stalled waiting for buffer credits.
+    pub credit_wait_cycles: u64,
+    /// Whether the run verified.
+    pub correct: bool,
+}
+
+/// The Related Work comparison (Section 8.1): OrderLight versus
+/// per-request sequence numbers with credit-based buffer management,
+/// sweeping the controller buffer size. Kim et al.'s approach needs
+/// memory-side buffering and pays credit round trips; OrderLight's
+/// in-band packets need neither.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_seqnum(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+) -> Result<Vec<SeqNumRow>, SimError> {
+    let mut rows = Vec::new();
+    let mut base = ExperimentConfig::new(
+        WorkloadId::Add,
+        ExecMode::Pim(OrderingMode::OrderLight),
+    );
+    base.ts_size = ts;
+    base.data_bytes_per_channel = data_bytes_per_channel;
+    let ol = run_experiment(base.clone())?;
+    rows.push(SeqNumRow {
+        label: "orderlight".into(),
+        exec_time_ms: ol.exec_time_ms,
+        command_gcs: ol.command_bandwidth_gcs,
+        credit_wait_cycles: 0,
+        correct: ol.is_correct(),
+    });
+    for credits in [4u32, 8, 16, 32, 64] {
+        let mut exp = base.clone();
+        exp.mode = ExecMode::Pim(OrderingMode::SeqNum);
+        exp.seq_credits = credits;
+        let stats = run_experiment(exp)?;
+        rows.push(SeqNumRow {
+            label: format!("seqnum B={credits}"),
+            exec_time_ms: stats.exec_time_ms,
+            command_gcs: stats.command_bandwidth_gcs,
+            credit_wait_cycles: stats.sm.credit_wait_cycles,
+            correct: stats.is_correct(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The fence-scope ablation (paper Section 4.3): where the fence
+/// acknowledgement is generated decides both its cost and its safety.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FenceScopeAblation {
+    /// Execution time with the correct issue-to-DRAM fence (ms).
+    pub dram_issue_ms: f64,
+    /// Mean waiting cycles per fence, issue-to-DRAM scope.
+    pub dram_issue_wait: f64,
+    /// Whether the issue-to-DRAM run verified.
+    pub dram_issue_correct: bool,
+    /// Execution time with the L2 ("global serialization point") fence.
+    pub l2_ack_ms: f64,
+    /// Mean waiting cycles per fence, L2 scope.
+    pub l2_ack_wait: f64,
+    /// Whether the L2-scope run verified (no guarantee that it does).
+    pub l2_ack_correct: bool,
+    /// Output stripes that mismatched under the L2-scope fence.
+    pub l2_ack_mismatches: u64,
+}
+
+/// Runs the fence-scope ablation on the Add kernel.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_fence_scope(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+) -> Result<FenceScopeAblation, SimError> {
+    let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence));
+    exp.ts_size = ts;
+    exp.data_bytes_per_channel = data_bytes_per_channel;
+    let strict = run_experiment(exp.clone())?;
+    exp.system.pipe.fence_ack_at_l2 = true;
+    let loose = run_experiment(exp)?;
+    Ok(FenceScopeAblation {
+        dram_issue_ms: strict.exec_time_ms,
+        dram_issue_wait: strict.wait_cycles_per_fence(),
+        dram_issue_correct: strict.is_correct(),
+        l2_ack_ms: loose.exec_time_ms,
+        l2_ack_wait: loose.wait_cycles_per_fence(),
+        l2_ack_correct: loose.is_correct(),
+        l2_ack_mismatches: loose.verified_mismatches,
+    })
+}
+
+/// A CPU-host system configuration, following the paper's conclusion:
+/// the innovations apply to out-of-order CPUs, whose renaming units and
+/// reservation stations play the operand collector's role and whose
+/// fence overheads are still on the order of 100 cycles. We model the
+/// CPU host with the same structures under CPU parameters: a short
+/// uncore path to the controller (L3 + mesh instead of a GPU
+/// interconnect), wide issue, reservation-station-sized collectors, and
+/// one hardware context per channel.
+#[must_use]
+pub fn cpu_host_config() -> SystemConfig {
+    let mut sys = SystemConfig::default();
+    // 2 GHz cores, eight of them driving two channels each.
+    sys.core_freq_hz = 2.0e9;
+    sys.total_sms = 8;
+    sys.sms_used = 8;
+    sys.warps_per_sm = 2;
+    // Uncore: core -> L3 slice -> memory controller.
+    sys.pipe.icnt_latency = 40;
+    sys.pipe.sub_latency = 4;
+    sys.pipe.l2_out_latency = 20;
+    sys.pipe.return_latency = 60;
+    // Reservation stations instead of collector units.
+    sys.sm.issue_width = 4;
+    sys.sm.oc_capacity = 48;
+    sys.sm.oc_latency = 2;
+    sys.sm.ldst_capacity = 32;
+    sys
+}
+
+/// One row of the CPU-host applicability study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuHostRow {
+    /// Ordering primitive label.
+    pub label: String,
+    /// Execution time (ms).
+    pub exec_time_ms: f64,
+    /// Mean waiting cycles per fence.
+    pub wait_per_fence: f64,
+    /// Whether the run verified.
+    pub correct: bool,
+}
+
+/// Runs the Add kernel on the CPU-host configuration under fences and
+/// OrderLight (paper Conclusion: fence overheads on OoO CPUs are still
+/// ~100 cycles, and the operand-collector gating maps onto reservation
+/// stations).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_cpu_host(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+) -> Result<Vec<CpuHostRow>, SimError> {
+    let mut rows = Vec::new();
+    for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
+        let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(mode));
+        exp.system = cpu_host_config();
+        exp.ts_size = ts;
+        exp.data_bytes_per_channel = data_bytes_per_channel;
+        // CPU allocation is fixed; skip the GPU SM policy.
+        let b = 200_000_000 + exp.stripes_per_channel() * 20_000;
+        let stats = System::build(exp).map_err(|e| SimError::from_config(&e))?.run(b)?;
+        rows.push(CpuHostRow {
+            label: format!("cpu {mode}"),
+            exec_time_ms: stats.exec_time_ms,
+            wait_per_fence: stats.wait_cycles_per_fence(),
+            correct: stats.is_correct(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the scheduler-knob ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerRow {
+    /// Knob setting label.
+    pub label: String,
+    /// OrderLight (single-bank PIM stream) command bandwidth, GC/s.
+    pub pim_command_gcs: f64,
+    /// GPU-baseline (multi-bank host stream) execution time, ms.
+    pub host_exec_ms: f64,
+    /// GPU-baseline row activations (locality proxy: fewer is better).
+    pub host_activates: u64,
+}
+
+/// Sweeps the controller design knobs DESIGN.md calls out — FR-FCFS
+/// scan depth and per-bank command-queue capacity.
+///
+/// Two traffic classes react very differently: the ordered single-bank
+/// PIM stream is insensitive (the OrderLight barriers already pin the
+/// schedule — itself a useful observation), while the GPU baseline's
+/// multi-bank host stream relies on the scan window for bank-level
+/// parallelism and row locality.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_scheduler(data_bytes_per_channel: u64) -> Result<Vec<SchedulerRow>, SimError> {
+    let mut rows = Vec::new();
+    let mut run_with =
+        |label: String, scan_depth: usize, bank_q: usize| -> Result<(), SimError> {
+            let mut pim = ExperimentConfig::new(
+                WorkloadId::Add,
+                ExecMode::Pim(OrderingMode::OrderLight),
+            );
+            pim.data_bytes_per_channel = data_bytes_per_channel;
+            pim.system.mc.scan_depth = scan_depth;
+            pim.system.mc.bank_queue_capacity = bank_q;
+            let pim_stats = run_experiment(pim)?;
+            let mut host = ExperimentConfig::new(WorkloadId::Add, ExecMode::Gpu);
+            host.data_bytes_per_channel = data_bytes_per_channel / 4;
+            host.system.mc.scan_depth = scan_depth;
+            host.system.mc.bank_queue_capacity = bank_q;
+            let host_stats = run_experiment(host)?;
+            rows.push(SchedulerRow {
+                label,
+                pim_command_gcs: pim_stats.command_bandwidth_gcs,
+                host_exec_ms: host_stats.exec_time_ms,
+                host_activates: host_stats.mc.activates,
+            });
+            Ok(())
+        };
+    for scan in [1usize, 4, 16, 64] {
+        run_with(format!("scan_depth={scan}"), scan, 4)?;
+    }
+    for bq in [1usize, 2, 4, 8] {
+        run_with(format!("bank_queue={bq}"), 16, bq)?;
+    }
+    Ok(rows)
+}
+
+/// One row of the refresh ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefreshRow {
+    /// Configuration label.
+    pub label: String,
+    /// Execution time (ms).
+    pub exec_time_ms: f64,
+    /// OrderLight command bandwidth (GC/s).
+    pub command_gcs: f64,
+    /// Whether the run verified.
+    pub correct: bool,
+}
+
+/// Quantifies what the paper's (and most PIM studies') no-refresh
+/// methodology hides: the Add kernel under OrderLight with all-bank
+/// refresh off versus HBM2-like tREFI/tRFC.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_refresh(data_bytes_per_channel: u64) -> Result<Vec<RefreshRow>, SimError> {
+    let mut rows = Vec::new();
+    for (label, refresh) in [
+        ("no refresh (paper)", None),
+        ("HBM2 refresh", Some(orderlight_hbm::RefreshParams::hbm2())),
+    ] {
+        let mut exp = ExperimentConfig::new(
+            WorkloadId::Add,
+            ExecMode::Pim(OrderingMode::OrderLight),
+        );
+        exp.data_bytes_per_channel = data_bytes_per_channel;
+        exp.system.refresh = refresh;
+        let stats = run_experiment(exp)?;
+        rows.push(RefreshRow {
+            label: label.to_string(),
+            exec_time_ms: stats.exec_time_ms,
+            command_gcs: stats.command_bandwidth_gcs,
+            correct: stats.is_correct(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the page-policy ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PagePolicyRow {
+    /// `workload / policy` label.
+    pub label: String,
+    /// Execution time (ms).
+    pub exec_time_ms: f64,
+    /// Row activations issued.
+    pub activates: u64,
+}
+
+/// Open-page versus closed-page row management under OrderLight, on a
+/// streaming kernel (Add: rewards open rows) and an irregular one
+/// (Gen_Fil: random 128 B probes rarely revisit a row).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_page_policy(
+    data_bytes_per_channel: u64,
+) -> Result<Vec<PagePolicyRow>, SimError> {
+    use orderlight_memctrl::PagePolicy;
+    let mut rows = Vec::new();
+    for wl in [WorkloadId::Add, WorkloadId::GenFil] {
+        for policy in [PagePolicy::Open, PagePolicy::Closed] {
+            let mut exp = ExperimentConfig::new(wl, ExecMode::Pim(OrderingMode::OrderLight));
+            exp.data_bytes_per_channel = data_bytes_per_channel;
+            exp.system.mc.page_policy = policy;
+            let stats = run_experiment(exp)?;
+            rows.push(PagePolicyRow {
+                label: format!("{wl} / {policy:?}"),
+                exec_time_ms: stats.exec_time_ms,
+                activates: stats.mc.activates,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 1 as printable rows (configuration echo).
+#[must_use]
+pub fn table1() -> Vec<(String, String)> {
+    let c = SystemConfig::default();
+    let t = c.timing;
+    vec![
+        ("GPU model".into(), "Volta Titan V (modelled)".into()),
+        ("Number of SMs".into(), c.total_sms.to_string()),
+        ("Core frequency".into(), format!("{} MHz", c.core_freq_hz / 1e6)),
+        ("Memory model".into(), "HBM".into()),
+        ("Memory channels".into(), c.channels.to_string()),
+        ("Banks per channel".into(), c.banks_per_channel.to_string()),
+        ("Memory frequency".into(), format!("{} MHz", c.mem_freq_hz / 1e6)),
+        ("DRAM bus width".into(), "32B".into()),
+        ("Memory scheduler".into(), "FRFCFS".into()),
+        ("R/W queue size".into(), c.mc.queue_capacity.to_string()),
+        ("L2 queue size".into(), (c.pipe.sub_capacity * 2).to_string()),
+        ("Interconnect to L2 latency".into(), format!("{} cycles", c.pipe.icnt_latency)),
+        ("L2 to DRAM scheduler latency".into(), format!("{} cycles", c.pipe.l2_out_latency)),
+        (
+            "Memory timing".into(),
+            format!(
+                "CCD={}:RRD={}:RCDW={}:RAS={}:RP={}:CL={}:WL={}:CDLR={}:WR={}:CCDL={}:WTP={}",
+                t.ccd, t.rrd, t.rcd_wr, t.ras, t.rp, t.cl, t.wl, t.cdlr, t.wr, t.ccdl, t.wtp
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_analytic_matches_simulation() {
+        let f = fig11();
+        assert_eq!(f.analytic_window, 44);
+        assert_eq!(f.simulated_window, 44);
+        assert!((f.peak_command_gcs - 2.47).abs() < 0.05);
+    }
+
+    #[test]
+    fn sm_policy_follows_the_paper() {
+        let mut e = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence));
+        apply_sm_policy(&mut e);
+        assert_eq!((e.system.sms_used, e.system.warps_per_sm), (2, 8));
+        let mut e =
+            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        apply_sm_policy(&mut e);
+        assert_eq!((e.system.sms_used, e.system.warps_per_sm), (8, 2));
+    }
+
+    #[test]
+    fn table1_echoes_the_paper() {
+        let rows = table1();
+        let get = |k: &str| rows.iter().find(|(a, _)| a == k).unwrap().1.clone();
+        assert_eq!(get("Number of SMs"), "80");
+        assert_eq!(get("Memory channels"), "16");
+        assert_eq!(get("R/W queue size"), "64");
+        assert!(get("Memory timing").contains("RCDW=9"));
+        assert!(get("Memory timing").contains("WTP=9"));
+    }
+
+    #[test]
+    fn run_point_produces_consistent_labels() {
+        let p = run_point(
+            WorkloadId::Scale,
+            TsSize::Quarter,
+            ExecMode::Pim(OrderingMode::OrderLight),
+            16,
+            8 * 1024,
+        )
+        .unwrap();
+        assert_eq!(p.workload, "Scale");
+        assert_eq!(p.ts, "1/4 RB");
+        assert_eq!(p.mode, "pim-orderlight");
+        assert!(p.stats.is_correct());
+    }
+}

@@ -1,0 +1,27 @@
+//! # Full-system simulator (paper Section 6 methodology)
+//!
+//! Assembles the whole stack — SMs ([`orderlight_gpu`]), per-channel
+//! memory pipes ([`orderlight_noc`]), memory controllers
+//! ([`orderlight_memctrl`]) and HBM channels with PIM units
+//! ([`orderlight_hbm`], [`orderlight_pim`]) — under the Table 1
+//! configuration, runs a workload to completion in two clock domains
+//! (1200 MHz core, 850 MHz memory), verifies the result against the
+//! golden model, and reports the paper's metrics:
+//!
+//! * execution time (ms) and core stall cycles,
+//! * PIM command bandwidth (GC/s) and PIM data bandwidth (GB/s),
+//! * ordering primitives issued per PIM instruction,
+//! * functional correctness (matches / mismatches vs. the golden image).
+//!
+//! [`experiments`] packages a canned runner for every figure and table
+//! of the paper's evaluation.
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod stats;
+pub mod system;
+
+pub use config::{ExecMode, ExperimentConfig, SystemConfig};
+pub use stats::RunStats;
+pub use system::System;

@@ -1,0 +1,98 @@
+//! Aggregated run metrics — the paper's evaluation vocabulary.
+
+use orderlight_gpu::SmStats;
+use orderlight_memctrl::McStats;
+use serde::{Deserialize, Serialize};
+
+/// The result of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Core cycles until every warp retired and the memory system
+    /// drained.
+    pub core_cycles: u64,
+    /// Wall-clock execution time in milliseconds at the core frequency.
+    pub exec_time_ms: f64,
+    /// Aggregated SM counters (stalls, issued instructions).
+    pub sm: SmStats,
+    /// Aggregated memory-controller counters.
+    pub mc: McStats,
+    /// PIM-internal data moved, already scaled by the bandwidth
+    /// multiplication factor.
+    pub pim_data_bytes: u64,
+    /// PIM command bandwidth in GigaCommands/s (paper Section 6's
+    /// "Evaluation Metrics").
+    pub command_bandwidth_gcs: f64,
+    /// PIM data bandwidth in GB/s.
+    pub data_bandwidth_gbs: f64,
+    /// Ordering primitives issued per PIM instruction (the line plot of
+    /// Figure 12).
+    pub primitives_per_pim_instr: f64,
+    /// Stripes whose final memory contents matched the golden model.
+    pub verified_matches: u64,
+    /// Stripes that mismatched (non-zero means functionally incorrect).
+    pub verified_mismatches: u64,
+}
+
+impl RunStats {
+    /// Whether the run produced bit-correct results.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.verified_mismatches == 0 && self.verified_matches > 0
+    }
+
+    /// Total core stall cycles (the bars of Figure 10b's secondary
+    /// axis).
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.sm.total_stalls()
+    }
+
+    /// Mean fence wait in core cycles per fence instruction (Figure 5's
+    /// secondary axis).
+    #[must_use]
+    pub fn wait_cycles_per_fence(&self) -> f64 {
+        if self.sm.fences == 0 {
+            0.0
+        } else {
+            self.sm.fence_stall_cycles as f64 / self.sm.fences as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        RunStats {
+            core_cycles: 1_200_000,
+            exec_time_ms: 1.0,
+            sm: SmStats { fences: 10, fence_stall_cycles: 2000, ..SmStats::default() },
+            mc: McStats::default(),
+            pim_data_bytes: 0,
+            command_bandwidth_gcs: 0.0,
+            data_bandwidth_gbs: 0.0,
+            primitives_per_pim_instr: 0.0,
+            verified_matches: 100,
+            verified_mismatches: 0,
+        }
+    }
+
+    #[test]
+    fn correctness_predicate() {
+        let s = stats();
+        assert!(s.is_correct());
+        let bad = RunStats { verified_mismatches: 1, ..s };
+        assert!(!bad.is_correct());
+        let empty = RunStats { verified_matches: 0, ..s };
+        assert!(!empty.is_correct(), "no output checked is not a pass");
+    }
+
+    #[test]
+    fn per_fence_wait() {
+        let s = stats();
+        assert!((s.wait_cycles_per_fence() - 200.0).abs() < f64::EPSILON);
+        let none = RunStats { sm: SmStats::default(), ..s };
+        assert_eq!(none.wait_cycles_per_fence(), 0.0);
+    }
+}

@@ -1,0 +1,599 @@
+//! System assembly and the dual-clock simulation loop.
+
+use crate::config::{ExecMode, ExperimentConfig};
+use crate::stats::RunStats;
+use orderlight::types::{ChannelId, CoreCycle, GlobalWarpId, MemCycle};
+use orderlight::{ConfigError, InstrStream, MemReq};
+use orderlight_gpu::{Sm, SmStats, Warp};
+use orderlight_hbm::Channel;
+use orderlight_memctrl::{McConfig, McStats, MemoryController};
+use orderlight_noc::MemoryPipe;
+use orderlight_pim::PimUnit;
+use orderlight_workloads::WorkloadInstance;
+use std::error::Error;
+use std::fmt;
+
+/// Requests an SM may hand to the pipes per core cycle.
+const LDST_DRAIN_PER_CYCLE: usize = 2;
+/// Requests a pipe may hand to its controller per core cycle.
+const MC_INGEST_PER_CYCLE: usize = 2;
+
+/// A simulation failure (deadlock / cycle-budget exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    fn new(message: impl Into<String>) -> Self {
+        SimError { message: message.into() }
+    }
+
+    /// Wraps a configuration problem as a simulation error.
+    pub(crate) fn config(message: impl Into<String>) -> Self {
+        SimError::new(message)
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl Error for SimError {}
+
+/// The assembled system under test.
+pub struct System {
+    exp: ExperimentConfig,
+    instance: WorkloadInstance,
+    sms: Vec<Sm>,
+    pipes: Vec<MemoryPipe>,
+    mcs: Vec<MemoryController>,
+    now: CoreCycle,
+    mem_now: MemCycle,
+    clock_acc: u64,
+    core_hz: u64,
+    mem_hz: u64,
+}
+
+impl System {
+    /// Builds the system for an experiment: constructs the workload
+    /// instance, pins one warp per channel across the configured SMs,
+    /// and initialises the DRAM functional stores with the input data.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] if the experiment is inconsistent.
+    pub fn build(exp: ExperimentConfig) -> Result<System, ConfigError> {
+        exp.validate()?;
+        let sys = &exp.system;
+        // Host data interleaves across the group's banks for bank-level
+        // parallelism and is processed by all configured warps; PIM uses
+        // the paper's single-bank placement and one warp per channel.
+        let total_warps = sys.sms_used * sys.warps_per_sm;
+        let (interleave, host_slices) = match exp.mode {
+            ExecMode::Gpu => (
+                sys.groups.banks_per_group() as u64,
+                (total_warps / sys.channels).max(1) as u64,
+            ),
+            ExecMode::Pim(_) => (1, 1),
+        };
+        let instance = WorkloadInstance::with_placement(
+            exp.workload,
+            sys.mapping.clone(),
+            &sys.groups,
+            exp.ts_stripes(),
+            exp.stripes_per_channel(),
+            match exp.mode {
+                ExecMode::Gpu => orderlight_workloads::OrderingMode::None,
+                ExecMode::Pim(mode) => mode,
+            },
+            interleave,
+            host_slices,
+        );
+        Self::assemble(exp, instance)
+    }
+
+    /// Builds the system around a caller-supplied workload instance —
+    /// the entry point for *custom* kernels built with
+    /// [`orderlight_workloads::KernelBuilder`] and instantiated via
+    /// [`WorkloadInstance::custom`]. Only PIM execution modes are
+    /// supported (custom host baselines would need the instance's slice
+    /// placement to match the SM allocation), and the instance's
+    /// ordering mode must agree with the experiment's.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] on mode mismatch or an invalid system.
+    pub fn build_custom(
+        exp: ExperimentConfig,
+        instance: WorkloadInstance,
+    ) -> Result<System, ConfigError> {
+        exp.system.validate()?;
+        let ExecMode::Pim(mode) = exp.mode else {
+            return Err(ConfigError::new("custom kernels support PIM modes only"));
+        };
+        if instance.mode() != mode {
+            return Err(ConfigError::new(
+                "the instance's ordering mode must match the experiment's",
+            ));
+        }
+        Self::assemble(exp, instance)
+    }
+
+    /// Wires SMs, pipes and controllers around `instance`.
+    fn assemble(
+        exp: ExperimentConfig,
+        instance: WorkloadInstance,
+    ) -> Result<System, ConfigError> {
+        let sys = &exp.system;
+        let total_warps = sys.sms_used * sys.warps_per_sm;
+        let warp_count = match exp.mode {
+            ExecMode::Gpu => (total_warps / sys.channels).max(1) * sys.channels,
+            ExecMode::Pim(_) => sys.channels,
+        };
+        // The sequence-number baseline gates the core on buffer credits
+        // and makes the controller dequeue/issue strictly in order.
+        let seq_mode =
+            matches!(exp.mode, ExecMode::Pim(orderlight_workloads::OrderingMode::SeqNum));
+        let sm_cfg = orderlight_gpu::SmConfig {
+            credits: seq_mode.then_some(exp.seq_credits),
+            ..sys.sm
+        };
+
+        // Warp w drives channel w % channels (slice w / channels when
+        // several warps cooperate per channel), packed across the SMs.
+        let mut sms = Vec::with_capacity(sys.sms_used);
+        let mut w = 0usize;
+        for sm_idx in 0..sys.sms_used {
+            let mut warps = Vec::new();
+            for warp_idx in 0..sys.warps_per_sm {
+                if w >= warp_count {
+                    break;
+                }
+                let channel = ChannelId((w % sys.channels) as u8);
+                let slice = (w / sys.channels) as u64;
+                let program: Box<dyn InstrStream> = match exp.mode {
+                    ExecMode::Gpu => Box::new(instance.host_stream_slice(channel, slice)),
+                    ExecMode::Pim(_) => Box::new(instance.pim_stream(channel)),
+                };
+                warps.push(Warp::new(GlobalWarpId::new(sm_idx, warp_idx), channel, program));
+                w += 1;
+            }
+            sms.push(Sm::new(sm_cfg, warps));
+        }
+
+        let mut pipes = Vec::with_capacity(sys.channels);
+        let mut mcs = Vec::with_capacity(sys.channels);
+        for ch in 0..sys.channels {
+            pipes.push(MemoryPipe::new(&sys.pipe));
+            let channel = Channel::with_refresh(
+                sys.timing,
+                sys.banks_per_channel,
+                sys.row_bytes as usize,
+                sys.refresh,
+            );
+            let pim = PimUnit::new(exp.ts_size, sys.row_bytes, exp.bmf);
+            let mc_cfg = McConfig {
+                mapping: sys.mapping.clone(),
+                groups: sys.groups.clone(),
+                seq_order: seq_mode || sys.mc.seq_order,
+                ..sys.mc.clone()
+            };
+            let mut mc = MemoryController::new(mc_cfg, channel, pim);
+            // Input data into the functional store.
+            for (addr, value) in instance.init_data(ChannelId(ch as u8)) {
+                let loc = sys.mapping.decode(addr);
+                debug_assert_eq!(loc.channel, ChannelId(ch as u8));
+                mc.channel_mut().store_mut().write(loc.bank, loc.row, loc.col, value);
+            }
+            mcs.push(mc);
+        }
+
+        Ok(System {
+            core_hz: sys.core_freq_hz as u64,
+            mem_hz: sys.mem_freq_hz as u64,
+            exp,
+            instance,
+            sms,
+            pipes,
+            mcs,
+            now: 0,
+            mem_now: 0,
+            clock_acc: 0,
+        })
+    }
+
+    /// The experiment this system was built for.
+    #[must_use]
+    pub fn experiment(&self) -> &ExperimentConfig {
+        &self.exp
+    }
+
+    /// The instantiated workload (streams, layout, golden model).
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadInstance {
+        &self.instance
+    }
+
+    /// The memory controllers (one per channel).
+    #[must_use]
+    pub fn controllers(&self) -> &[MemoryController] {
+        &self.mcs
+    }
+
+    /// Per-channel controller statistics (load-balance diagnostics).
+    #[must_use]
+    pub fn channel_stats(&self) -> Vec<McStats> {
+        self.mcs.iter().map(MemoryController::stats).collect()
+    }
+
+    /// Current core cycle.
+    #[must_use]
+    pub fn now(&self) -> CoreCycle {
+        self.now
+    }
+
+    /// Current memory cycle (advances at `mem_hz / core_hz` of the core
+    /// clock via an integer accumulator — no drift).
+    #[must_use]
+    pub fn mem_now(&self) -> MemCycle {
+        self.mem_now
+    }
+
+    /// Routes a request to its channel.
+    fn channel_of(&self, req: &MemReq) -> ChannelId {
+        match req {
+            MemReq::Marker(copy) => copy.marker.channel(),
+            other => self
+                .exp
+                .system
+                .mapping
+                .channel_of(other.addr().expect("non-marker requests have addresses")),
+        }
+    }
+
+    /// Advances the whole system one core clock cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. SMs issue.
+        for sm in &mut self.sms {
+            sm.tick(now);
+        }
+
+        // 2. LDST queues drain into the per-channel pipes (head-of-line
+        //    blocking when a pipe is full).
+        for sm_idx in 0..self.sms.len() {
+            for _ in 0..LDST_DRAIN_PER_CYCLE {
+                let Some(head) = self.sms[sm_idx].peek_ldst() else { break };
+                let ch = self.channel_of(head);
+                if !self.pipes[ch.index()].can_push() {
+                    break;
+                }
+                let req = self.sms[sm_idx].pop_ldst().expect("peeked head");
+                self.pipes[ch.index()].push_request(req, now);
+            }
+        }
+
+        // 3. Pipes advance; ready heads enter the controllers.
+        for (ch, pipe) in self.pipes.iter_mut().enumerate() {
+            pipe.tick(now);
+            for _ in 0..MC_INGEST_PER_CYCLE {
+                let Some(head) = pipe.peek_mc(now) else { break };
+                if !self.mcs[ch].can_accept(head) {
+                    break;
+                }
+                let req = pipe.pop_mc(now).expect("peeked head");
+                self.mcs[ch].push(req);
+            }
+        }
+
+        // 4. Memory clock domain: tick controllers at mem_hz/core_hz.
+        self.clock_acc += self.mem_hz;
+        while self.clock_acc >= self.core_hz {
+            self.clock_acc -= self.core_hz;
+            for (ch, mc) in self.mcs.iter_mut().enumerate() {
+                for resp in mc.tick(self.mem_now) {
+                    self.pipes[ch].push_response(resp, now);
+                }
+            }
+            self.mem_now += 1;
+        }
+
+        // 5. Responses return to their SMs.
+        for pipe in &mut self.pipes {
+            while let Some(resp) = pipe.pop_response(now) {
+                self.sms[resp.warp().sm()].deliver(resp);
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Whether every warp retired and the memory system is drained.
+    pub fn is_done(&mut self) -> bool {
+        self.sms.iter_mut().all(Sm::is_done)
+            && self.pipes.iter().all(MemoryPipe::is_empty)
+            && self.mcs.iter().all(MemoryController::is_idle)
+    }
+
+    /// Compares final DRAM contents against the golden model; returns
+    /// `(matches, mismatches)` over all output stripes of all channels.
+    #[must_use]
+    pub fn verify(&self) -> (u64, u64) {
+        let mapping = &self.exp.system.mapping;
+        let mut matches = 0;
+        let mut mismatches = 0;
+        for ch in 0..self.mcs.len() {
+            let channel = ChannelId(ch as u8);
+            let golden = match self.exp.mode {
+                ExecMode::Gpu => self.instance.golden_host(channel),
+                ExecMode::Pim(_) => self.instance.golden_pim(channel),
+            };
+            for &addr in golden.written() {
+                let loc = mapping.decode(orderlight::types::Addr(addr));
+                let actual = self.mcs[ch].channel().store().read(loc.bank, loc.row, loc.col);
+                if actual == golden.read(orderlight::types::Addr(addr)) {
+                    matches += 1;
+                } else {
+                    mismatches += 1;
+                }
+            }
+        }
+        (matches, mismatches)
+    }
+
+    /// Runs to completion (at most `max_core_cycles`), then verifies and
+    /// aggregates statistics.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the system has not drained within the
+    /// budget — a deadlock or a budget that is simply too small.
+    pub fn run(&mut self, max_core_cycles: u64) -> Result<RunStats, SimError> {
+        while !self.is_done() {
+            if self.now >= max_core_cycles {
+                return Err(SimError::new(format!(
+                    "not drained after {} core cycles (workload {}, mode {})",
+                    self.now, self.exp.workload, self.exp.mode
+                )));
+            }
+            // Check completion only every so often once running: stepping
+            // in small batches amortises the done-scan.
+            for _ in 0..64 {
+                self.step();
+            }
+        }
+        Ok(self.collect())
+    }
+
+    /// Aggregates statistics after a completed run.
+    fn collect(&self) -> RunStats {
+        let mut sm = SmStats::default();
+        for s in &self.sms {
+            let x = s.stats();
+            sm.issued += x.issued;
+            sm.pim_issued += x.pim_issued;
+            sm.loads += x.loads;
+            sm.stores += x.stores;
+            sm.computes += x.computes;
+            sm.fences += x.fences;
+            sm.orderlights += x.orderlights;
+            sm.fence_stall_cycles += x.fence_stall_cycles;
+            sm.ol_wait_cycles += x.ol_wait_cycles;
+            sm.reg_wait_cycles += x.reg_wait_cycles;
+            sm.structural_stall_cycles += x.structural_stall_cycles;
+            sm.credit_wait_cycles += x.credit_wait_cycles;
+        }
+        let mut mc = McStats::default();
+        let mut pim_data_bytes = 0;
+        for m in &self.mcs {
+            let x = m.stats();
+            mc.pim_commands += x.pim_commands;
+            mc.activates += x.activates;
+            mc.precharges += x.precharges;
+            mc.col_reads += x.col_reads;
+            mc.col_writes += x.col_writes;
+            mc.exec_commands += x.exec_commands;
+            mc.host_reads += x.host_reads;
+            mc.host_writes += x.host_writes;
+            mc.fence_acks += x.fence_acks;
+            mc.ol_packets += x.ol_packets;
+            mc.sanity_violations += x.sanity_violations;
+            mc.last_issue_cycle = mc.last_issue_cycle.max(x.last_issue_cycle);
+            mc.host_read_latency_sum += x.host_read_latency_sum;
+            pim_data_bytes += m.pim().stats().data_bytes;
+        }
+        let core_hz = self.exp.system.core_freq_hz;
+        let seconds = self.now as f64 / core_hz;
+        let (verified_matches, verified_mismatches) = self.verify();
+        RunStats {
+            core_cycles: self.now,
+            exec_time_ms: seconds * 1e3,
+            command_bandwidth_gcs: mc.pim_commands as f64 / seconds / 1e9,
+            data_bandwidth_gbs: pim_data_bytes as f64 / seconds / 1e9,
+            primitives_per_pim_instr: if sm.pim_issued == 0 {
+                0.0
+            } else {
+                (sm.fences + sm.orderlights) as f64 / sm.pim_issued as f64
+            },
+            sm,
+            mc,
+            pim_data_bytes,
+            verified_matches,
+            verified_mismatches,
+        }
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.exp.workload)
+            .field("mode", &self.exp.mode)
+            .field("now", &self.now)
+            .field("mem_now", &self.mem_now)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight_pim::TsSize;
+    use orderlight_workloads::{OrderingMode, WorkloadId};
+
+    fn small_exp(workload: WorkloadId, mode: ExecMode) -> ExperimentConfig {
+        let mut e = ExperimentConfig::new(workload, mode);
+        // 16 KiB per structure per channel keeps unit tests fast.
+        e.data_bytes_per_channel = 16 * 1024;
+        e.ts_size = TsSize::Eighth;
+        e
+    }
+
+    #[test]
+    fn add_orderlight_runs_and_verifies() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight)))
+                .unwrap();
+        let stats = sys.run(20_000_000).unwrap();
+        assert!(stats.is_correct(), "mismatches: {}", stats.verified_mismatches);
+        assert!(stats.command_bandwidth_gcs > 0.0);
+        assert!(stats.sm.orderlights > 0);
+        assert_eq!(stats.sm.fences, 0);
+        assert_eq!(stats.mc.sanity_violations, 0);
+    }
+
+    #[test]
+    fn add_fence_runs_and_verifies_but_stalls() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence)))
+                .unwrap();
+        let stats = sys.run(50_000_000).unwrap();
+        assert!(stats.is_correct());
+        assert!(stats.sm.fences > 0);
+        assert!(
+            stats.wait_cycles_per_fence() > 100.0,
+            "fences must pay a round trip, got {}",
+            stats.wait_cycles_per_fence()
+        );
+    }
+
+    #[test]
+    fn add_without_ordering_is_functionally_incorrect() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::None)))
+                .unwrap();
+        let stats = sys.run(20_000_000).unwrap();
+        assert!(
+            stats.verified_mismatches > 0,
+            "FR-FCFS reordering must corrupt the unordered kernel (Figure 5)"
+        );
+    }
+
+    #[test]
+    fn orderlight_is_faster_than_fence() {
+        let run = |mode| {
+            let mut sys = System::build(small_exp(WorkloadId::Add, ExecMode::Pim(mode))).unwrap();
+            sys.run(50_000_000).unwrap()
+        };
+        let ol = run(OrderingMode::OrderLight);
+        let fence = run(OrderingMode::Fence);
+        assert!(
+            fence.exec_time_ms > 1.5 * ol.exec_time_ms,
+            "fence {} ms vs orderlight {} ms",
+            fence.exec_time_ms,
+            ol.exec_time_ms
+        );
+    }
+
+    #[test]
+    fn gpu_baseline_runs_and_verifies() {
+        let mut e = small_exp(WorkloadId::Add, ExecMode::Gpu);
+        e.data_bytes_per_channel = 4 * 1024;
+        let mut sys = System::build(e).unwrap();
+        let stats = sys.run(50_000_000).unwrap();
+        assert!(stats.is_correct());
+        assert!(stats.sm.loads > 0);
+        assert_eq!(stats.mc.pim_commands, 0);
+    }
+
+    #[test]
+    fn channels_are_load_balanced() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight)))
+                .unwrap();
+        let _ = sys.run(50_000_000).unwrap();
+        let per = sys.channel_stats();
+        assert_eq!(per.len(), 16);
+        let first = per[0].pim_commands;
+        assert!(first > 0);
+        assert!(
+            per.iter().all(|s| s.pim_commands == first),
+            "uniform kernels must spread PIM commands evenly"
+        );
+    }
+
+    #[test]
+    fn clock_domains_keep_the_850_to_1200_ratio() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Scale, ExecMode::Pim(OrderingMode::OrderLight)))
+                .unwrap();
+        for _ in 0..120_000 {
+            sys.step();
+        }
+        let expected = sys.now() as f64 * 850.0 / 1200.0;
+        let got = sys.mem_now() as f64;
+        assert!(
+            (got - expected).abs() <= 1.0,
+            "memory clock drifted: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn custom_instances_run_through_build_custom() {
+        use orderlight_workloads::{KernelBuilder, WorkloadInstance};
+        let spec = KernelBuilder::new("doctest_custom")
+            .load(0)
+            .fetch(orderlight::AluOp::Add, 1)
+            .store(2)
+            .build()
+            .unwrap();
+        let mut exp = small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        exp.data_bytes_per_channel = 8 * 1024;
+        let instance = WorkloadInstance::custom(
+            spec,
+            exp.system.mapping.clone(),
+            &exp.system.groups,
+            exp.ts_stripes(),
+            exp.stripes_per_channel(),
+            OrderingMode::OrderLight,
+        );
+        let stats = System::build_custom(exp, instance).unwrap().run(50_000_000).unwrap();
+        assert!(stats.is_correct());
+    }
+
+    #[test]
+    fn build_custom_rejects_mode_mismatch() {
+        use orderlight_workloads::{KernelBuilder, WorkloadInstance};
+        let spec = KernelBuilder::new("mismatch").load(0).store(0).build().unwrap();
+        let exp = small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        let instance = WorkloadInstance::custom(
+            spec,
+            exp.system.mapping.clone(),
+            &exp.system.groups,
+            8,
+            64,
+            OrderingMode::Fence,
+        );
+        assert!(System::build_custom(exp, instance).is_err());
+    }
+
+    #[test]
+    fn cycle_budget_is_enforced() {
+        let mut sys =
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight)))
+                .unwrap();
+        let err = sys.run(128).unwrap_err();
+        assert!(err.to_string().contains("not drained"));
+    }
+}

@@ -1,0 +1,44 @@
+//! A tour of the PIM design-space taxonomy (paper Section 3,
+//! Figures 1-2): offload granularity x arbitration granularity, the
+//! published designs in each quadrant, and the properties that make
+//! FGO/FGA — the quadrant OrderLight serves — attractive.
+//!
+//! ```text
+//! cargo run --example taxonomy_tour
+//! ```
+
+use orderlight_suite::core::taxonomy::{literature, PimClass};
+
+fn main() {
+    println!("PIM taxonomy: temporal granularity of offload and arbitration\n");
+    for class in [PimClass::CGO_FGA, PimClass::CGO_CGA, PimClass::FGO_CGA, PimClass::FGO_FGA] {
+        println!("{class}");
+        println!(
+            "  memory-side orchestration logic required : {}",
+            yn(class.needs_memory_side_orchestration())
+        );
+        println!(
+            "  concurrent host memory access allowed    : {}",
+            yn(class.allows_concurrent_host_access())
+        );
+        println!(
+            "  mainstream interfaces (DDR/HBM/GDDR/LP)  : {}",
+            yn(class.mainstream_interface_compatible())
+        );
+        let designs: Vec<&str> =
+            literature().iter().filter(|d| d.class == class).map(|d| d.name).collect();
+        println!("  published designs: {}\n", designs.join(", "));
+    }
+    println!("FGO/FGA keeps memory-side logic simple, lets host and PIM run");
+    println!("concurrently, and stays compatible with commodity interfaces — but it");
+    println!("needs an efficient ordering primitive for its fine-grained command");
+    println!("streams. That primitive is OrderLight.");
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

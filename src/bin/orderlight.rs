@@ -1,0 +1,185 @@
+//! `orderlight` — command-line driver for the simulator.
+//!
+//! ```text
+//! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight]
+//!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
+//! orderlight list
+//! orderlight taxonomy
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! orderlight run --workload Add --mode orderlight --ts 8
+//! orderlight run --workload KMeans --mode fence --ts 2 --data-kb 512
+//! ```
+
+use orderlight_suite::pim::TsSize;
+use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
+use orderlight_suite::sim::experiments::{apply_sm_policy, run_experiment};
+use orderlight_suite::workloads::{OrderingMode, WorkloadId};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight list\n  orderlight taxonomy"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_workload(name: &str) -> Option<WorkloadId> {
+    WorkloadId::ALL
+        .into_iter()
+        .find(|w| w.meta().name.eq_ignore_ascii_case(name))
+}
+
+fn parse_mode(name: &str) -> Option<ExecMode> {
+    match name.to_ascii_lowercase().as_str() {
+        "gpu" => Some(ExecMode::Gpu),
+        "none" => Some(ExecMode::Pim(OrderingMode::None)),
+        "fence" => Some(ExecMode::Pim(OrderingMode::Fence)),
+        "orderlight" | "ol" => Some(ExecMode::Pim(OrderingMode::OrderLight)),
+        "seqnum" => Some(ExecMode::Pim(OrderingMode::SeqNum)),
+        _ => None,
+    }
+}
+
+fn parse_ts(denom: &str) -> Option<TsSize> {
+    match denom {
+        "16" => Some(TsSize::Sixteenth),
+        "8" => Some(TsSize::Eighth),
+        "4" => Some(TsSize::Quarter),
+        "2" => Some(TsSize::Half),
+        _ => None,
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("workloads (paper Table 2):");
+    for id in WorkloadId::ALL {
+        let m = id.meta();
+        println!(
+            "  {:<8} {:<40} C:M {:<6} {:?}",
+            m.name, m.description, m.ratio, m.suite
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_taxonomy() -> ExitCode {
+    use orderlight_suite::core::taxonomy::{literature, PimClass};
+    for class in [PimClass::CGO_FGA, PimClass::CGO_CGA, PimClass::FGO_CGA, PimClass::FGO_FGA] {
+        let names: Vec<&str> =
+            literature().iter().filter(|d| d.class == class).map(|d| d.name).collect();
+        println!("{class}: {}", names.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut workload = WorkloadId::Add;
+    let mut mode = ExecMode::Pim(OrderingMode::OrderLight);
+    let mut ts = TsSize::Eighth;
+    let mut bmf = 16u32;
+    let mut data_kb = 256u64;
+    let mut credits = 32u32;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--workload" | "-w" => match parse_workload(value) {
+                Some(w) => {
+                    workload = w;
+                    true
+                }
+                None => false,
+            },
+            "--mode" | "-m" => match parse_mode(value) {
+                Some(m) => {
+                    mode = m;
+                    true
+                }
+                None => false,
+            },
+            "--ts" => match parse_ts(value) {
+                Some(t) => {
+                    ts = t;
+                    true
+                }
+                None => false,
+            },
+            "--bmf" => value.parse().map(|v| bmf = v).is_ok(),
+            "--data-kb" => value.parse().map(|v| data_kb = v).is_ok(),
+            "--credits" => value.parse().map(|v| credits = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("invalid value '{value}' for {flag}");
+            return usage();
+        }
+    }
+
+    let mut exp = ExperimentConfig::new(workload, mode);
+    exp.ts_size = ts;
+    exp.bmf = bmf;
+    exp.data_bytes_per_channel = data_kb * 1024;
+    exp.seq_credits = credits;
+    apply_sm_policy(&mut exp);
+    println!(
+        "running {workload} mode={mode} ts={ts} bmf={bmf}x data={data_kb}KiB/structure/channel ..."
+    );
+    match run_experiment(exp) {
+        Ok(stats) => {
+            println!("  execution time        : {:.4} ms", stats.exec_time_ms);
+            println!("  core cycles           : {}", stats.core_cycles);
+            println!("  core stall cycles     : {}", stats.stall_cycles());
+            println!("  PIM command bandwidth : {:.3} GC/s", stats.command_bandwidth_gcs);
+            println!("  PIM data bandwidth    : {:.0} GB/s", stats.data_bandwidth_gbs);
+            println!(
+                "  ordering primitives   : {} ({:.3} per PIM instruction)",
+                stats.sm.fences + stats.sm.orderlights,
+                stats.primitives_per_pim_instr
+            );
+            if stats.sm.fences > 0 {
+                println!(
+                    "  wait cycles per fence : {:.0}",
+                    stats.wait_cycles_per_fence()
+                );
+            }
+            if stats.is_correct() {
+                println!(
+                    "  verification          : PASS ({} output stripes)",
+                    stats.verified_matches
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "  verification          : FAIL ({} of {} stripes wrong)",
+                    stats.verified_mismatches,
+                    stats.verified_matches + stats.verified_mismatches
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("taxonomy") => cmd_taxonomy(),
+        _ => usage(),
+    }
+}

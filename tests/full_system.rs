@@ -1,0 +1,216 @@
+//! Cross-crate integration tests: the whole stack (GPU → pipes →
+//! controllers → DRAM + PIM) on the paper's workload suite.
+
+use orderlight_suite::pim::TsSize;
+use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
+use orderlight_suite::sim::experiments::apply_sm_policy;
+use orderlight_suite::sim::{RunStats, System};
+use orderlight_suite::workloads::{OrderingMode, WorkloadId};
+
+fn run(workload: WorkloadId, mode: ExecMode, ts: TsSize, data: u64) -> RunStats {
+    let mut exp = ExperimentConfig::new(workload, mode);
+    exp.ts_size = ts;
+    exp.data_bytes_per_channel = data;
+    apply_sm_policy(&mut exp);
+    let mut sys = System::build(exp).expect("valid experiment");
+    sys.run(400_000_000).expect("system drains")
+}
+
+#[test]
+fn every_workload_is_correct_under_orderlight() {
+    for wl in WorkloadId::ALL {
+        let stats = run(wl, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 16 * 1024);
+        assert!(
+            stats.is_correct(),
+            "{wl}: {} mismatches of {} checked",
+            stats.verified_mismatches,
+            stats.verified_matches + stats.verified_mismatches
+        );
+        assert_eq!(stats.mc.sanity_violations, 0, "{wl}: packet numbers must be monotonic");
+        assert_eq!(stats.sm.fences, 0, "{wl}: OrderLight mode uses no fences");
+        assert!(stats.sm.orderlights > 0, "{wl}: ordering primitives were issued");
+        assert_eq!(
+            stats.mc.ol_packets, stats.sm.orderlights,
+            "{wl}: every packet issued must merge at a controller"
+        );
+    }
+}
+
+#[test]
+fn every_workload_is_correct_under_fences() {
+    for wl in WorkloadId::ALL {
+        let stats = run(wl, ExecMode::Pim(OrderingMode::Fence), TsSize::Quarter, 8 * 1024);
+        assert!(stats.is_correct(), "{wl} under fences");
+        assert_eq!(
+            stats.mc.fence_acks, stats.sm.fences,
+            "{wl}: every fence must be acknowledged exactly once"
+        );
+        assert!(
+            stats.wait_cycles_per_fence() > 100.0,
+            "{wl}: fences pay a core-to-memory round trip"
+        );
+    }
+}
+
+#[test]
+fn multi_phase_kernels_corrupt_without_ordering() {
+    // Every kernel that reuses TS slots across phases/tiles must fail
+    // when the FR-FCFS scheduler is left free to reorder.
+    for wl in [WorkloadId::Add, WorkloadId::Triad, WorkloadId::Daxpy, WorkloadId::BnFwd] {
+        let stats = run(wl, ExecMode::Pim(OrderingMode::None), TsSize::Eighth, 16 * 1024);
+        assert!(
+            stats.verified_mismatches > 0,
+            "{wl}: unordered execution must be functionally incorrect (paper Figure 5)"
+        );
+    }
+}
+
+#[test]
+fn gpu_baseline_is_correct_for_elementwise_kernels() {
+    for wl in [WorkloadId::Scale, WorkloadId::Copy, WorkloadId::Add] {
+        let stats = run(wl, ExecMode::Gpu, TsSize::Eighth, 8 * 1024);
+        assert!(stats.is_correct(), "{wl} on the conventional GPU path");
+        assert_eq!(stats.mc.pim_commands, 0);
+        assert!(stats.sm.loads > 0 && stats.sm.computes + stats.sm.stores > 0);
+    }
+}
+
+#[test]
+fn orderlight_beats_fence_beats_nothing_useful() {
+    let ol = run(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 32 * 1024);
+    let fence = run(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence), TsSize::Eighth, 32 * 1024);
+    assert!(
+        fence.exec_time_ms > 2.0 * ol.exec_time_ms,
+        "fence {:.4} ms vs OrderLight {:.4} ms",
+        fence.exec_time_ms,
+        ol.exec_time_ms
+    );
+    assert!(
+        fence.command_bandwidth_gcs < ol.command_bandwidth_gcs,
+        "ordering stalls must throttle command bandwidth"
+    );
+    // Stall-cycle structure mirrors Figure 10b: fences dominate the
+    // baseline's stalls; OrderLight's waits are collector-drain only.
+    assert!(fence.sm.fence_stall_cycles > 10 * ol.sm.ol_wait_cycles);
+}
+
+#[test]
+fn bigger_ts_means_fewer_primitives_and_more_bandwidth() {
+    let mut last_prim = f64::MAX;
+    let mut last_bw = 0.0;
+    for ts in [TsSize::Sixteenth, TsSize::Eighth, TsSize::Quarter, TsSize::Half] {
+        let stats = run(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight), ts, 32 * 1024);
+        assert!(
+            stats.primitives_per_pim_instr < last_prim,
+            "primitives/instruction must fall with TS"
+        );
+        assert!(
+            stats.command_bandwidth_gcs > last_bw,
+            "command bandwidth must rise with TS"
+        );
+        last_prim = stats.primitives_per_pim_instr;
+        last_bw = stats.command_bandwidth_gcs;
+    }
+}
+
+#[test]
+fn genfil_primitive_rate_is_ts_invariant() {
+    let at = |ts| {
+        run(WorkloadId::GenFil, ExecMode::Pim(OrderingMode::OrderLight), ts, 8 * 1024)
+            .primitives_per_pim_instr
+    };
+    let small = at(TsSize::Sixteenth);
+    let large = at(TsSize::Half);
+    assert!(
+        (small - large).abs() < 1e-9,
+        "the 128 B probe granularity pins Gen_Fil's ordering rate"
+    );
+}
+
+#[test]
+fn data_bandwidth_is_command_bandwidth_times_bmf() {
+    // PIM data bandwidth reflects the product of command bandwidth and
+    // the bandwidth multiplication factor (paper Section 6, metrics).
+    let stats = run(WorkloadId::Copy, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 16 * 1024);
+    let dram_cmds = stats.mc.col_reads + stats.mc.col_writes;
+    assert_eq!(stats.pim_data_bytes, dram_cmds * 32 * 16, "BMF=16 scaling");
+}
+
+#[test]
+fn bmf_sweep_shifts_the_burden() {
+    // Lower BMF means more commands for the same job: fence suffers
+    // more, so the OrderLight advantage grows (paper Figure 13).
+    let ratio = |bmf: u32| {
+        let mut exp = ExperimentConfig::new(
+            WorkloadId::Add,
+            ExecMode::Pim(OrderingMode::Fence),
+        );
+        exp.bmf = bmf;
+        exp.data_bytes_per_channel = 64 * 1024;
+        apply_sm_policy(&mut exp);
+        let fence = System::build(exp.clone())
+            .unwrap()
+            .run(600_000_000)
+            .unwrap()
+            .exec_time_ms;
+        exp.mode = ExecMode::Pim(OrderingMode::OrderLight);
+        apply_sm_policy(&mut exp);
+        let ol = System::build(exp).unwrap().run(600_000_000).unwrap().exec_time_ms;
+        fence / ol
+    };
+    let low_bmf = ratio(4);
+    let high_bmf = ratio(16);
+    assert!(
+        low_bmf > high_bmf * 0.8,
+        "fence burden should not shrink at low BMF: 4x -> {low_bmf:.2}, 16x -> {high_bmf:.2}"
+    );
+}
+
+#[test]
+fn seqnum_baseline_is_correct_and_credit_bound() {
+    // The Kim et al. sequence-number baseline verifies at every buffer
+    // size, and its performance is monotone in the credit budget.
+    let at = |credits: u32| {
+        let mut exp = ExperimentConfig::new(
+            WorkloadId::Add,
+            ExecMode::Pim(OrderingMode::SeqNum),
+        );
+        exp.data_bytes_per_channel = 16 * 1024;
+        exp.seq_credits = credits;
+        apply_sm_policy(&mut exp);
+        let stats = System::build(exp).unwrap().run(400_000_000).unwrap();
+        assert!(stats.is_correct(), "seqnum B={credits}");
+        assert!(stats.sm.credit_wait_cycles > 0, "credits must bind at B={credits}");
+        stats.exec_time_ms
+    };
+    let small = at(4);
+    let large = at(32);
+    assert!(
+        small > 1.5 * large,
+        "small credit buffers must pay round trips: B=4 {small:.4} ms vs B=32 {large:.4} ms"
+    );
+    // OrderLight needs no credits and beats even the large buffer.
+    let ol = run(
+        WorkloadId::Add,
+        ExecMode::Pim(OrderingMode::OrderLight),
+        TsSize::Eighth,
+        16 * 1024,
+    );
+    assert!(ol.exec_time_ms <= large * 1.1);
+    assert_eq!(ol.sm.credit_wait_cycles, 0);
+}
+
+#[test]
+fn seqnum_handles_irregular_kernels() {
+    for wl in [WorkloadId::Hist, WorkloadId::GenFil, WorkloadId::Kmeans] {
+        let stats = run(wl, ExecMode::Pim(OrderingMode::SeqNum), TsSize::Eighth, 8 * 1024);
+        assert!(stats.is_correct(), "{wl} under sequence numbers");
+    }
+}
+
+#[test]
+fn determinism_identical_runs_identical_stats() {
+    let a = run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
+    let b = run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
+    assert_eq!(a, b, "the simulator must be bit-deterministic");
+}
