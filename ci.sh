@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build and the tier-1 test suite.
+# Everything resolves offline — the workspace has no external
+# dependencies (the criterion bench crate is excluded; build it
+# separately on a machine with registry access).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "CI green."

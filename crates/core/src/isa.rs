@@ -10,7 +10,6 @@
 //! lanes); arithmetic is wrapping so replay is exact.
 
 use crate::types::{Addr, MemGroupId, Stripe, TsSlot};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A SIMD ALU operation performed lane-wise on `u32` values.
@@ -18,7 +17,7 @@ use std::fmt;
 /// Binary operations combine the accumulator (a TS slot for PIM, a register
 /// for the host) with a memory operand; immediate operations use a constant
 /// baked into the instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// `acc = mem` (pure data movement; used by the Copy kernel).
     Mov,
@@ -107,7 +106,7 @@ impl fmt::Display for AluOp {
 }
 
 /// The opcode of a fine-grained PIM command (paper Section 4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PimOp {
     /// `TS[slot] = DRAM[addr]` — move one stripe from an activated row into
     /// temporary storage ("PIM_Load").
@@ -146,7 +145,7 @@ impl PimOp {
 /// The host's LDST unit sends these down the memory pipe like non-temporal
 /// loads/stores; the memory controller translates them into DRAM commands
 /// and forwards them to the PIM unit of the target channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PimInstruction {
     /// What the PIM unit should do.
     pub op: PimOp,
@@ -174,9 +173,7 @@ impl fmt::Display for PimInstruction {
 }
 
 /// A host register index (used only by the conventional-GPU baseline path).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl fmt::Display for Reg {
@@ -186,7 +183,7 @@ impl fmt::Display for Reg {
 }
 
 /// An ordering primitive in the host instruction stream (paper Section 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderingInstr {
     /// A traditional core-centric fence: the warp stalls until the memory
     /// controller acknowledges that every prior PIM request has been issued
@@ -208,7 +205,7 @@ pub enum OrderingInstr {
 /// [`KernelInstr::Ordering`]; the conventional-GPU baseline uses the
 /// `Load`/`Compute`/`Store` forms whose ordering is enforced by register
 /// dependences at the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelInstr {
     /// Issue a fine-grained PIM instruction down the memory pipe.
     Pim(PimInstruction),

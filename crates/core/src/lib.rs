@@ -46,11 +46,14 @@ pub mod isa;
 pub mod mapping;
 pub mod message;
 pub mod packet;
+pub mod rng;
 pub mod taxonomy;
 pub mod types;
 
 pub use error::{ConfigError, PacketError};
-pub use isa::{AluOp, InstrStream, KernelInstr, OrderingInstr, PimInstruction, PimOp, Reg, VecStream};
+pub use isa::{
+    AluOp, InstrStream, KernelInstr, OrderingInstr, PimInstruction, PimOp, Reg, VecStream,
+};
 pub use mapping::{AddressMapping, GroupMap, Location};
 pub use message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 pub use packet::OrderLightPacket;

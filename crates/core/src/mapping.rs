@@ -12,10 +12,9 @@
 
 use crate::error::ConfigError;
 use crate::types::{Addr, BankId, ChannelId, MemGroupId, BUS_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Decoded physical location of a stripe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Memory channel.
     pub channel: ChannelId,
@@ -45,7 +44,7 @@ pub struct Location {
 /// assert_eq!(loc.channel.0, 3);
 /// assert_eq!(loc.row, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressMapping {
     channels: usize,
     banks: usize,
@@ -191,7 +190,7 @@ impl Default for AddressMapping {
 /// PIM data structures live in one group and non-PIM data in another so
 /// that OrderLight packets never constrain host traffic (paper
 /// Section 5.3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupMap {
     banks: usize,
     groups: usize,

@@ -9,11 +9,10 @@
 use crate::isa::{PimInstruction, Reg};
 use crate::packet::OrderLightPacket;
 use crate::types::{Addr, ChannelId, GlobalWarpId, Stripe};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-request metadata used for fence tracking and statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReqMeta {
     /// Issuing warp.
     pub warp: GlobalWarpId,
@@ -22,7 +21,7 @@ pub struct ReqMeta {
 }
 
 /// An in-band ordering marker.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Marker {
     /// An OrderLight packet: enforced at the memory controller, never
     /// stalls the core.
@@ -101,7 +100,7 @@ pub enum MarkerKey {
 
 /// A marker copy produced at a divergence point, carrying how many sibling
 /// copies the downstream convergence FSM must collect before merging.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MarkerCopy {
     /// The marker being replicated.
     pub marker: Marker,
@@ -110,7 +109,7 @@ pub struct MarkerCopy {
 }
 
 /// A request travelling down the memory pipe.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemReq {
     /// A fine-grained PIM instruction (bypasses the caches like a
     /// non-temporal access).
@@ -185,7 +184,7 @@ impl MemReq {
 }
 
 /// A response travelling back up the memory pipe to the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemResp {
     /// Data for a conventional host read.
     LoadData {
@@ -234,12 +233,7 @@ mod tests {
 
     fn pim_req(op: PimOp) -> MemReq {
         MemReq::Pim {
-            instr: PimInstruction {
-                op,
-                addr: Addr(0x80),
-                slot: TsSlot(0),
-                group: MemGroupId(0),
-            },
+            instr: PimInstruction { op, addr: Addr(0x80), slot: TsSlot(0), group: MemGroupId(0) },
             meta: ReqMeta { warp: GlobalWarpId::new(0, 1), seq: 5 },
         }
     }

@@ -15,11 +15,10 @@
 //! simple, stays compatible with mainstream memory interfaces (DDR, HBM,
 //! GDDR, LPDDR) and lets host and PIM run concurrently.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Temporal granularity of offloaded PIM computations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OffloadGranularity {
     /// Entire computations shipped to memory-side orchestration logic.
     Coarse,
@@ -28,7 +27,7 @@ pub enum OffloadGranularity {
 }
 
 /// Temporal granularity of arbitration between host and PIM accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArbitrationGranularity {
     /// Host memory accesses are disallowed while PIM computes.
     Coarse,
@@ -37,7 +36,7 @@ pub enum ArbitrationGranularity {
 }
 
 /// A quadrant of the taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PimClass {
     /// Offload-granularity axis.
     pub offload: OffloadGranularity,
@@ -47,26 +46,20 @@ pub struct PimClass {
 
 impl PimClass {
     /// Coarse-grain offload, fine-grain arbitration (Section 3.1).
-    pub const CGO_FGA: PimClass = PimClass {
-        offload: OffloadGranularity::Coarse,
-        arbitration: ArbitrationGranularity::Fine,
-    };
+    pub const CGO_FGA: PimClass =
+        PimClass { offload: OffloadGranularity::Coarse, arbitration: ArbitrationGranularity::Fine };
     /// Coarse-grain offload, coarse-grain arbitration (Section 3.2).
     pub const CGO_CGA: PimClass = PimClass {
         offload: OffloadGranularity::Coarse,
         arbitration: ArbitrationGranularity::Coarse,
     };
     /// Fine-grain offload, coarse-grain arbitration (Section 3.3).
-    pub const FGO_CGA: PimClass = PimClass {
-        offload: OffloadGranularity::Fine,
-        arbitration: ArbitrationGranularity::Coarse,
-    };
+    pub const FGO_CGA: PimClass =
+        PimClass { offload: OffloadGranularity::Fine, arbitration: ArbitrationGranularity::Coarse };
     /// Fine-grain offload, fine-grain arbitration (Section 3.4) — the
     /// quadrant OrderLight serves.
-    pub const FGO_FGA: PimClass = PimClass {
-        offload: OffloadGranularity::Fine,
-        arbitration: ArbitrationGranularity::Fine,
-    };
+    pub const FGO_FGA: PimClass =
+        PimClass { offload: OffloadGranularity::Fine, arbitration: ArbitrationGranularity::Fine };
 
     /// Whether this class needs memory-side orchestration logic.
     #[must_use]
@@ -107,7 +100,7 @@ impl fmt::Display for PimClass {
 }
 
 /// A published PIM design and its quadrant (paper Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LiteratureDesign {
     /// Design name as it appears in Figure 1.
     pub name: &'static str,
@@ -177,13 +170,8 @@ mod tests {
     #[test]
     fn literature_covers_all_quadrants() {
         let designs = literature();
-        for class in
-            [PimClass::CGO_FGA, PimClass::CGO_CGA, PimClass::FGO_CGA, PimClass::FGO_FGA]
-        {
-            assert!(
-                designs.iter().any(|d| d.class == class),
-                "no design classified as {class}"
-            );
+        for class in [PimClass::CGO_FGA, PimClass::CGO_CGA, PimClass::FGO_CGA, PimClass::FGO_FGA] {
+            assert!(designs.iter().any(|d| d.class == class), "no design classified as {class}");
         }
         // Spot checks from Figure 1.
         let find = |n: &str| designs.iter().find(|d| d.name == n).unwrap().class;

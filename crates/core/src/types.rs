@@ -6,7 +6,6 @@
 //! `orderlight-sim`. Identifiers, on the other hand, are newtypes so that a
 //! bank index can never be confused with a channel index.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cycle count in the GPU core clock domain (1200 MHz by default).
@@ -30,9 +29,7 @@ pub const LANES: usize = BUS_BYTES / LANE_BYTES;
 /// Addresses are plain byte offsets into the simulated physical memory;
 /// [`crate::mapping::AddressMapping`] decodes them into
 /// (channel, bank, row, column) coordinates.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -64,10 +61,7 @@ impl From<u64> for Addr {
 macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident($inner:ty)) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $inner);
 
         impl fmt::Display for $name {
@@ -114,9 +108,7 @@ id_newtype!(
 
 /// A globally unique warp identifier: `(SM index, warp index within SM)`
 /// flattened into one integer so it can travel in request messages.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalWarpId(pub u32);
 
 impl GlobalWarpId {
@@ -150,7 +142,7 @@ impl fmt::Display for GlobalWarpId {
 ///
 /// All functional arithmetic in the suite is wrapping `u32` lane math so
 /// that golden-model replay is bit-exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Stripe(pub [u32; LANES]);
 
 impl Default for Stripe {

@@ -17,11 +17,11 @@ use orderlight::message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 use orderlight::packet::OrderLightPacket;
 use orderlight::types::CoreCycle;
 use orderlight::{KernelInstr, OrderingInstr};
-use serde::{Deserialize, Serialize};
+use orderlight_trace::{sink::nop_sink, InstrKind, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
 /// SM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmConfig {
     /// Collector units available.
     pub oc_capacity: usize,
@@ -51,7 +51,7 @@ impl Default for SmConfig {
 }
 
 /// Per-SM activity and stall counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SmStats {
     /// Instructions issued.
     pub issued: u64,
@@ -129,6 +129,11 @@ pub struct Sm {
     rr: usize,
     stats: SmStats,
     credits: Vec<u32>,
+    sink: SharedSink,
+    retired: Vec<bool>,
+    // Cycle of the most recent tick; stamps events emitted from
+    // `deliver`, which has no cycle parameter.
+    cur_cycle: CoreCycle,
 }
 
 impl Sm {
@@ -139,11 +144,21 @@ impl Sm {
             oc: OperandCollector::new(cfg.oc_capacity, cfg.oc_latency),
             ldst: VecDeque::new(),
             credits: vec![cfg.credits.unwrap_or(0); warps.len()],
+            retired: vec![false; warps.len()],
             warps,
             cfg,
             rr: 0,
             stats: SmStats::default(),
+            sink: nop_sink(),
+            cur_cycle: 0,
         }
+    }
+
+    /// Attaches a trace sink. The default [`orderlight_trace::NopSink`]
+    /// makes tracing free; sinks only observe, so attaching one never
+    /// changes simulated behaviour.
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        self.sink = sink;
     }
 
     /// Activity counters.
@@ -186,7 +201,16 @@ impl Sm {
         match resp {
             MemResp::LoadData { reg, data, .. } => warp.write_reg(reg, data),
             MemResp::FenceAck { fence_id, .. } => {
-                let _ = warp.fence_ack(fence_id);
+                let id = warp.id();
+                let released = warp.fence_ack(fence_id);
+                if released && self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::FenceStallEnd {
+                        cycle: self.cur_cycle,
+                        sm: id.sm() as u32,
+                        warp: id.0,
+                        fence_id,
+                    });
+                }
             }
             MemResp::Credit { .. } => self.credits[warp_idx] += 1,
         }
@@ -194,6 +218,17 @@ impl Sm {
 
     fn ldst_has_space(&self) -> bool {
         self.ldst.len() < self.cfg.ldst_capacity
+    }
+
+    fn trace_issue(&self, now: CoreCycle, id: orderlight::types::GlobalWarpId, kind: InstrKind) {
+        if self.sink.is_enabled() {
+            self.sink.emit(TraceEvent::WarpIssue {
+                cycle: now,
+                sm: id.sm() as u32,
+                warp: id.0,
+                kind,
+            });
+        }
     }
 
     /// Attempts to issue the current instruction of warp `i`; returns
@@ -220,6 +255,7 @@ impl Sm {
                 }
                 self.oc.allocate(MemReq::Pim { instr: pim, meta }, id, Some(key), now);
                 self.stats.pim_issued += 1;
+                self.trace_issue(now, id, InstrKind::Pim);
                 true
             }
             KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
@@ -233,6 +269,7 @@ impl Sm {
                     return false;
                 }
                 let warp = &mut self.warps[i];
+                let id = warp.id();
                 let number = warp.next_ol_number(group);
                 let packet = OrderLightPacket::new(channel, group, number);
                 warp.advance();
@@ -241,6 +278,16 @@ impl Sm {
                     total_copies: 1,
                 }));
                 self.stats.orderlights += 1;
+                self.trace_issue(now, id, InstrKind::OrderLight);
+                if self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::PacketCreated {
+                        cycle: now,
+                        channel: channel.0,
+                        group: group.0,
+                        number,
+                        warp: id.0,
+                    });
+                }
                 true
             }
             KernelInstr::Ordering(OrderingInstr::Fence) => {
@@ -265,6 +312,15 @@ impl Sm {
                     total_copies: 1,
                 }));
                 self.stats.fences += 1;
+                self.trace_issue(now, id, InstrKind::Fence);
+                if self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::FenceStallBegin {
+                        cycle: now,
+                        sm: id.sm() as u32,
+                        warp: id.0,
+                        fence_id,
+                    });
+                }
                 true
             }
             KernelInstr::Load { addr, reg } => {
@@ -283,6 +339,7 @@ impl Sm {
                 warp.advance();
                 self.oc.allocate(MemReq::HostRead { addr, reg, meta }, id, None, now);
                 self.stats.loads += 1;
+                self.trace_issue(now, id, InstrKind::Load);
                 true
             }
             KernelInstr::Compute { op, dst, a, b } => {
@@ -292,10 +349,12 @@ impl Sm {
                     return false;
                 }
                 let warp = &mut self.warps[i];
+                let id = warp.id();
                 let result = op.apply(warp.read_reg(a), warp.read_reg(b));
                 warp.write_reg(dst, result);
                 warp.advance();
                 self.stats.computes += 1;
+                self.trace_issue(now, id, InstrKind::Compute);
                 true
             }
             KernelInstr::Store { addr, reg } => {
@@ -314,6 +373,7 @@ impl Sm {
                 warp.advance();
                 self.oc.allocate(MemReq::HostWrite { addr, data, meta }, id, None, now);
                 self.stats.stores += 1;
+                self.trace_issue(now, id, InstrKind::Store);
                 true
             }
         }
@@ -323,6 +383,7 @@ impl Sm {
     /// the LDST queue, counts fence stalls, and issues up to
     /// `issue_width` instructions round-robin across ready warps.
     pub fn tick(&mut self, now: CoreCycle) {
+        self.cur_cycle = now;
         // Operand collector -> LDST queue.
         let space = self.cfg.ldst_capacity - self.ldst.len();
         let mut budget = space;
@@ -365,6 +426,22 @@ impl Sm {
             }
         }
         self.rr = (self.rr + 1) % n.max(1);
+
+        // Retirement is trace-only bookkeeping, so the scan is skipped
+        // entirely when no real sink is attached.
+        if self.sink.is_enabled() {
+            for i in 0..self.warps.len() {
+                if !self.retired[i] && self.warps[i].state() == WarpState::Done {
+                    self.retired[i] = true;
+                    let id = self.warps[i].id();
+                    self.sink.emit(TraceEvent::WarpRetire {
+                        cycle: now,
+                        sm: id.sm() as u32,
+                        warp: id.0,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -451,11 +528,7 @@ mod tests {
 
     #[test]
     fn fence_stalls_until_ack() {
-        let mut sm = sm_with(vec![
-            pim(0),
-            KernelInstr::Ordering(OrderingInstr::Fence),
-            pim(32),
-        ]);
+        let mut sm = sm_with(vec![pim(0), KernelInstr::Ordering(OrderingInstr::Fence), pim(32)]);
         let mut seen = Vec::new();
         for now in 0..50 {
             sm.tick(now);

@@ -1,37 +1,44 @@
-//! Property-based tests of the SM issue logic: for any random kernel
+//! Randomized tests of the SM issue logic: for any random kernel
 //! stream, the LDST queue emits requests and ordering markers in exact
 //! program order, fences stall until acknowledged, and everything
 //! eventually issues.
+//!
+//! Inputs are generated with the in-tree deterministic PRNG
+//! ([`orderlight::rng::Rng`]) so every run exercises the same cases.
 
 use orderlight::isa::OrderingInstr;
 use orderlight::message::{Marker, MemReq, MemResp};
+use orderlight::rng::Rng;
 use orderlight::types::{Addr, ChannelId, GlobalWarpId, MemGroupId, TsSlot};
 use orderlight::{KernelInstr, PimInstruction, PimOp, VecStream};
 use orderlight_gpu::{Sm, SmConfig, Warp};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Step {
     Pim,
     OrderLight,
     Fence,
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        5 => Just(Step::Pim),
-        2 => Just(Step::OrderLight),
-        1 => Just(Step::Fence),
-    ]
+/// Weighted draw matching the old proptest strategy: 5:2:1.
+fn step(rng: &mut Rng) -> Step {
+    match rng.gen_range(8) {
+        0..=4 => Step::Pim,
+        5 | 6 => Step::OrderLight,
+        _ => Step::Fence,
+    }
 }
 
-proptest! {
-    /// The in-band order of PIM requests and ordering markers leaving
-    /// the LDST queue equals program order, for any program shape; every
-    /// fence is stalled on until its acknowledgement arrives (we play
-    /// the memory and ack after a fixed delay).
-    #[test]
-    fn ldst_output_preserves_program_order(steps in proptest::collection::vec(step(), 1..60)) {
+/// The in-band order of PIM requests and ordering markers leaving the
+/// LDST queue equals program order, for any program shape; every fence
+/// is stalled on until its acknowledgement arrives (we play the memory
+/// and ack after a fixed delay).
+#[test]
+fn ldst_output_preserves_program_order() {
+    let mut rng = Rng::new(0x5e01);
+    for case in 0..64 {
+        let len = 1 + rng.gen_index(59);
+        let steps: Vec<Step> = (0..len).map(|_| step(&mut rng)).collect();
         let mut program = Vec::new();
         for (i, s) in steps.iter().enumerate() {
             program.push(match s {
@@ -78,9 +85,9 @@ proptest! {
                 }
             });
             now += 1;
-            prop_assert!(now < 200_000, "SM wedged");
+            assert!(now < 200_000, "case {case}: SM wedged");
         }
-        prop_assert_eq!(out.len(), program.len(), "every instruction reaches the pipe");
+        assert_eq!(out.len(), program.len(), "case {case}: every instruction reaches the pipe");
         // Exact order preservation: classify both sequences.
         for (req, instr) in out.iter().zip(&program) {
             let matches = match (req, instr) {
@@ -93,21 +100,28 @@ proptest! {
                 }
                 _ => false,
             };
-            prop_assert!(matches, "order diverged: {:?} vs {:?}", req, instr);
+            assert!(matches, "case {case}: order diverged: {req:?} vs {instr:?}");
         }
         // Stall accounting: fences cost real cycles, OrderLight a few.
         let stats = sm.stats();
         let fences = steps.iter().filter(|s| matches!(s, Step::Fence)).count() as u64;
-        prop_assert_eq!(stats.fences, fences);
+        assert_eq!(stats.fences, fences);
         if fences > 0 {
-            prop_assert!(stats.fence_stall_cycles >= fences * 40, "each fence waits the ack delay");
+            assert!(
+                stats.fence_stall_cycles >= fences * 40,
+                "case {case}: each fence waits the ack delay"
+            );
         }
     }
+}
 
-    /// OrderLight packet numbers increase monotonically per group in the
-    /// emitted stream.
-    #[test]
-    fn packet_numbers_are_monotonic(n in 1usize..30) {
+/// OrderLight packet numbers increase monotonically per group in the
+/// emitted stream.
+#[test]
+fn packet_numbers_are_monotonic() {
+    let mut rng = Rng::new(0x5e02);
+    for case in 0..32 {
+        let n = 1 + rng.gen_index(29);
         let mut program = Vec::new();
         for i in 0..n {
             program.push(KernelInstr::Pim(PimInstruction {
@@ -116,15 +130,10 @@ proptest! {
                 slot: TsSlot(0),
                 group: MemGroupId(0),
             }));
-            program.push(KernelInstr::Ordering(OrderingInstr::OrderLight {
-                group: MemGroupId(0),
-            }));
+            program.push(KernelInstr::Ordering(OrderingInstr::OrderLight { group: MemGroupId(0) }));
         }
-        let warp = Warp::new(
-            GlobalWarpId::new(0, 0),
-            ChannelId(3),
-            Box::new(VecStream::new(program)),
-        );
+        let warp =
+            Warp::new(GlobalWarpId::new(0, 0), ChannelId(3), Box::new(VecStream::new(program)));
         let mut sm = Sm::new(SmConfig::default(), vec![warp]);
         let mut numbers = Vec::new();
         let mut now = 0;
@@ -133,15 +142,19 @@ proptest! {
             while let Some(req) = sm.pop_ldst() {
                 if let MemReq::Marker(c) = req {
                     if let Marker::OrderLight(p) = c.marker {
-                        prop_assert_eq!(p.channel(), ChannelId(3), "packet routed to the warp's channel");
+                        assert_eq!(
+                            p.channel(),
+                            ChannelId(3),
+                            "case {case}: packet routed to the warp's channel"
+                        );
                         numbers.push(p.number());
                     }
                 }
             }
             now += 1;
-            prop_assert!(now < 100_000);
+            assert!(now < 100_000, "case {case}: SM wedged");
         }
-        prop_assert_eq!(numbers.len(), n);
-        prop_assert!(numbers.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(numbers.len(), n);
+        assert!(numbers.windows(2).all(|w| w[1] == w[0] + 1));
     }
 }

@@ -33,6 +33,8 @@ pub struct Bank {
     next_wr: MemCycle,
     /// Earliest cycle a PRE may issue.
     next_pre: MemCycle,
+    /// Cycle of the most recent ACT (row-residency tracing).
+    opened_at: MemCycle,
     /// Statistics: row activations.
     activations: u64,
     /// Statistics: column accesses.
@@ -49,6 +51,7 @@ impl Bank {
             next_rd: 0,
             next_wr: 0,
             next_pre: 0,
+            opened_at: 0,
             activations: 0,
             col_accesses: 0,
         }
@@ -67,6 +70,13 @@ impl Bank {
             BankState::Open { row } => Some(row),
             BankState::Closed => None,
         }
+    }
+
+    /// The cycle the currently open row was activated, if a row is open
+    /// (row-residency intervals for tracing).
+    #[must_use]
+    pub fn open_since(&self) -> Option<MemCycle> {
+        matches!(self.state, BankState::Open { .. }).then_some(self.opened_at)
     }
 
     /// Whether an ACT may issue at `now`.
@@ -96,7 +106,13 @@ impl Bank {
     /// ignoring channel-level constraints. Used by the scheduler for
     /// row-hit prioritisation lookahead.
     #[must_use]
-    pub fn earliest_column(&self, row: u32, kind: ColKind, now: MemCycle, t: &TimingParams) -> MemCycle {
+    pub fn earliest_column(
+        &self,
+        row: u32,
+        kind: ColKind,
+        now: MemCycle,
+        t: &TimingParams,
+    ) -> MemCycle {
         let col_ready = |act_at: MemCycle| match kind {
             ColKind::Read => act_at + t.rcd_rd,
             ColKind::Write => act_at + t.rcd_wr,
@@ -124,6 +140,7 @@ impl Bank {
     pub fn activate(&mut self, row: u32, now: MemCycle, t: &TimingParams) {
         assert!(self.can_activate(now), "ACT violates timing at {now}");
         self.state = BankState::Open { row };
+        self.opened_at = now;
         self.next_rd = now + t.rcd_rd;
         self.next_wr = now + t.rcd_wr;
         self.next_pre = now + t.ras;

@@ -7,11 +7,11 @@
 //! banks. Everything bank-local is delegated to [`Bank`].
 
 use crate::bank::Bank;
-use crate::command::DramCommand;
+use crate::command::{ColKind, DramCommand};
 use crate::storage::FunctionalStore;
 use crate::timing::TimingParams;
 use orderlight::types::{BankId, MemCycle, Stripe};
-use serde::{Deserialize, Serialize};
+use orderlight_trace::{sink::nop_sink, DramCmdKind, SharedSink, TraceEvent};
 
 /// All-bank refresh parameters (values in memory cycles).
 ///
@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// 298 cycles. The paper's evaluation (like most PIM studies) omits
 /// refresh; it is off by default here and exercised by the
 /// `ablation_refresh` experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefreshParams {
     /// Refresh interval, tREFI.
     pub interval: MemCycle,
@@ -66,6 +66,8 @@ pub struct Channel {
     /// End of the in-progress refresh window, if any.
     refresh_until: Option<MemCycle>,
     refreshes: u64,
+    sink: SharedSink,
+    channel_id: u8,
 }
 
 impl Channel {
@@ -104,6 +106,30 @@ impl Channel {
             refresh,
             refresh_until: None,
             refreshes: 0,
+            sink: nop_sink(),
+            channel_id: 0,
+        }
+    }
+
+    /// Attaches a trace sink, tagging this channel's DRAM-command events
+    /// with `channel`. Sinks only observe; timing is unchanged.
+    pub fn set_sink(&mut self, sink: SharedSink, channel: u8) {
+        self.sink = sink;
+        self.channel_id = channel;
+    }
+
+    /// Emits the row-residency interval that closes when `bank`
+    /// precharges at `now`.
+    fn trace_row_close(&self, bank: BankId, now: MemCycle) {
+        let b = &self.banks[bank.index()];
+        if let (Some(row), Some(opened)) = (b.open_row(), b.open_since()) {
+            self.sink.emit(TraceEvent::RowInterval {
+                cycle: now,
+                channel: self.channel_id,
+                bank: bank.0,
+                row,
+                open_cycles: now.saturating_sub(opened),
+            });
         }
     }
 
@@ -126,9 +152,12 @@ impl Channel {
             if self.banks.iter().any(|b| b.open_row().is_some() && !b.can_precharge(now)) {
                 return;
             }
-            for bank in &mut self.banks {
-                if bank.open_row().is_some() {
-                    bank.precharge(now, &t);
+            for b in 0..self.banks.len() {
+                if self.banks[b].open_row().is_some() {
+                    if self.sink.is_enabled() {
+                        self.trace_row_close(BankId(b as u8), now);
+                    }
+                    self.banks[b].precharge(now, &t);
                 }
             }
             self.refresh_until = Some(now + r.rfc);
@@ -214,12 +243,32 @@ impl Channel {
             return false;
         }
         let t = self.timing;
+        let traced = self.sink.is_enabled();
         match cmd {
             DramCommand::Activate { bank, row } => {
                 self.banks[bank.index()].activate(row, now, &t);
                 self.next_act_any = now + t.rrd;
+                if traced {
+                    self.sink.emit(TraceEvent::DramCmd {
+                        cycle: now,
+                        channel: self.channel_id,
+                        bank: bank.0,
+                        kind: DramCmdKind::Activate,
+                        row,
+                    });
+                }
             }
             DramCommand::Precharge { bank } => {
+                if traced {
+                    self.trace_row_close(bank, now);
+                    self.sink.emit(TraceEvent::DramCmd {
+                        cycle: now,
+                        channel: self.channel_id,
+                        bank: bank.0,
+                        kind: DramCmdKind::Precharge,
+                        row: self.banks[bank.index()].open_row().unwrap_or(u32::MAX),
+                    });
+                }
                 self.banks[bank.index()].precharge(now, &t);
             }
             DramCommand::Column { bank, kind } => {
@@ -227,6 +276,18 @@ impl Channel {
                 self.banks[bank.index()].column(row, kind, now, &t);
                 self.next_col = now + t.ccd;
                 self.col_commands += 1;
+                if traced {
+                    self.sink.emit(TraceEvent::DramCmd {
+                        cycle: now,
+                        channel: self.channel_id,
+                        bank: bank.0,
+                        kind: match kind {
+                            ColKind::Read => DramCmdKind::Read,
+                            ColKind::Write => DramCmdKind::Write,
+                        },
+                        row,
+                    });
+                }
             }
         }
         true

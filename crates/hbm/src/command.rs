@@ -2,11 +2,10 @@
 //! channel.
 
 use orderlight::types::BankId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a column access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColKind {
     /// A column read (host read, PIM load, PIM fetch-and-op operand).
     Read,
@@ -15,7 +14,7 @@ pub enum ColKind {
 }
 
 /// One DRAM command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramCommand {
     /// Open `row` in `bank` (PRE must have completed).
     Activate {

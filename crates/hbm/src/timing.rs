@@ -16,7 +16,6 @@
 //! [`crate::channel`].
 
 use orderlight::ConfigError;
-use serde::{Deserialize, Serialize};
 
 /// DRAM timing parameters in memory-clock cycles.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// `rcd_rd` (ACT-to-read delay; Table 1 only lists the write variant
 /// RCDW) and `rtp` (read-to-precharge). Both default to typical HBM
 /// values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingParams {
     /// Column-to-column spacing, different bank group (tCCD, "CCD=1").
     pub ccd: u64,

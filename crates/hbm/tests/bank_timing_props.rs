@@ -1,10 +1,13 @@
-//! Property-based tests of the DRAM timing state machine: no random
+//! Randomized tests of the DRAM timing state machine: no random
 //! command schedule, however adversarial, can violate the JEDEC-style
 //! spacing rules the model enforces.
+//!
+//! Schedules come from the in-tree deterministic PRNG
+//! ([`orderlight::rng::Rng`]) so every run exercises the same cases.
 
+use orderlight::rng::Rng;
 use orderlight::types::BankId;
 use orderlight_hbm::{Channel, ColKind, DramCommand, TimingParams};
-use proptest::prelude::*;
 
 /// A random intent the driver tries at each step.
 #[derive(Debug, Clone, Copy)]
@@ -15,29 +18,31 @@ enum Intent {
     Wait,
 }
 
-fn intent() -> impl Strategy<Value = Intent> {
-    prop_oneof![
-        (0u8..4, 0u32..4).prop_map(|(bank, row)| Intent::Act { bank, row }),
-        (0u8..4, any::<bool>()).prop_map(|(bank, write)| Intent::Col { bank, write }),
-        (0u8..4).prop_map(|bank| Intent::Pre { bank }),
-        Just(Intent::Wait),
-    ]
+fn intent(rng: &mut Rng) -> Intent {
+    match rng.gen_range(4) {
+        0 => Intent::Act { bank: rng.gen_range(4) as u8, row: rng.gen_range(4) as u32 },
+        1 => Intent::Col { bank: rng.gen_range(4) as u8, write: rng.gen_bool(1, 2) },
+        2 => Intent::Pre { bank: rng.gen_range(4) as u8 },
+        _ => Intent::Wait,
+    }
 }
 
-proptest! {
-    /// Whatever the driver attempts, `try_issue` only ever applies legal
-    /// commands (the strict state machine would panic otherwise), and
-    /// the recorded issue times respect every pairwise spacing rule.
-    #[test]
-    #[allow(clippy::explicit_counter_loop)]
-    fn random_schedules_respect_all_timing(intents in proptest::collection::vec(intent(), 1..400)) {
+/// Whatever the driver attempts, `try_issue` only ever applies legal
+/// commands (the strict state machine would panic otherwise), and the
+/// recorded issue times respect every pairwise spacing rule.
+#[test]
+#[allow(clippy::explicit_counter_loop)] // `now` advances per step like a clock
+fn random_schedules_respect_all_timing() {
+    let mut rng = Rng::new(0xd7a3);
+    for case in 0..32 {
         let t = TimingParams::hbm_table1();
         let mut ch = Channel::new(t, 4, 2048);
         let mut now = 0u64;
         let mut acts: Vec<(u64, u8)> = Vec::new();
         let mut cols: Vec<(u64, u8)> = Vec::new();
-        for i in intents {
-            match i {
+        let steps = 1 + rng.gen_index(399);
+        for _ in 0..steps {
+            match intent(&mut rng) {
                 Intent::Act { bank, row } => {
                     if ch.try_issue(DramCommand::Activate { bank: BankId(bank), row }, now) {
                         acts.push((now, bank));
@@ -58,30 +63,32 @@ proptest! {
         }
         // ACT-to-ACT: tRRD across banks, tRC within a bank.
         for w in acts.windows(2) {
-            prop_assert!(w[1].0 - w[0].0 >= t.rrd, "tRRD violated");
+            assert!(w[1].0 - w[0].0 >= t.rrd, "case {case}: tRRD violated");
         }
         for bank in 0..4u8 {
             let mine: Vec<u64> = acts.iter().filter(|(_, b)| *b == bank).map(|(c, _)| *c).collect();
             for w in mine.windows(2) {
-                prop_assert!(w[1] - w[0] >= t.rc(), "tRC violated on bank {bank}");
+                assert!(w[1] - w[0] >= t.rc(), "case {case}: tRC violated on bank {bank}");
             }
         }
         // Column-to-column: tCCD on the channel, tCCDL within a bank.
         for w in cols.windows(2) {
-            prop_assert!(w[1].0 - w[0].0 >= t.ccd, "tCCD violated");
+            assert!(w[1].0 - w[0].0 >= t.ccd, "case {case}: tCCD violated");
         }
         for bank in 0..4u8 {
             let mine: Vec<u64> = cols.iter().filter(|(_, b)| *b == bank).map(|(c, _)| *c).collect();
             for w in mine.windows(2) {
-                prop_assert!(w[1] - w[0] >= t.ccdl, "tCCDL violated on bank {bank}");
+                assert!(w[1] - w[0] >= t.ccdl, "case {case}: tCCDL violated on bank {bank}");
             }
         }
     }
+}
 
-    /// A greedy single-bank write stream can never beat the analytic
-    /// Figure 11 window, whatever the burst length.
-    #[test]
-    fn greedy_stream_never_beats_the_analytic_window(writes_per_row in 1u64..32) {
+/// A greedy single-bank write stream can never beat the analytic
+/// Figure 11 window, whatever the burst length.
+#[test]
+fn greedy_stream_never_beats_the_analytic_window() {
+    for writes_per_row in 1u64..32 {
         let t = TimingParams::hbm_table1();
         let mut ch = Channel::new(t, 16, 2048);
         let mut now = 0u64;
@@ -104,23 +111,35 @@ proptest! {
         }
         let analytic = t.row_window_writes(writes_per_row).max(t.rc());
         for w in acts.windows(2) {
-            prop_assert!(w[1] - w[0] >= analytic, "window {} < analytic {analytic}", w[1] - w[0]);
+            assert!(
+                w[1] - w[0] >= analytic,
+                "{writes_per_row} writes: window {} < analytic {analytic}",
+                w[1] - w[0]
+            );
         }
     }
+}
 
-    /// The functional store returns exactly what was last written, per
-    /// location, under arbitrary write sequences.
-    #[test]
-    fn store_is_a_map(ops in proptest::collection::vec((0u8..4, 0u32..8, 0u16..64, any::<u32>()), 1..200)) {
-        use orderlight::types::Stripe;
+/// The functional store returns exactly what was last written, per
+/// location, under arbitrary write sequences.
+#[test]
+fn store_is_a_map() {
+    use orderlight::types::Stripe;
+    let mut rng = Rng::new(0x570e);
+    for _ in 0..16 {
         let mut s = orderlight_hbm::FunctionalStore::new(2048);
         let mut model = std::collections::HashMap::new();
-        for (bank, row, col, v) in ops {
+        let ops = 1 + rng.gen_index(199);
+        for _ in 0..ops {
+            let bank = rng.gen_range(4) as u8;
+            let row = rng.gen_range(8) as u32;
+            let col = rng.gen_range(64) as u16;
+            let v = rng.next_u64() as u32;
             s.write(BankId(bank), row, col, Stripe::splat(v));
             model.insert((bank, row, col), v);
         }
         for ((bank, row, col), v) in model {
-            prop_assert_eq!(s.read(BankId(bank), row, col), Stripe::splat(v));
+            assert_eq!(s.read(BankId(bank), row, col), Stripe::splat(v));
         }
     }
 }

@@ -11,11 +11,11 @@ use orderlight::types::{BankId, MemCycle};
 use orderlight::PimOp;
 use orderlight_hbm::{Channel, ColKind, DramCommand, NeededCommand};
 use orderlight_pim::PimUnit;
-use serde::{Deserialize, Serialize};
+use orderlight_trace::{sink::nop_sink, DramCmdKind, SchedSide, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
 /// Row-buffer management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PagePolicy {
     /// Leave rows open until a conflicting access needs the bank
     /// (default; rewards streaming locality).
@@ -27,7 +27,7 @@ pub enum PagePolicy {
 }
 
 /// One issued command, recorded when tracing is enabled.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IssueRecord {
     /// Memory cycle the command issued.
     pub cycle: MemCycle,
@@ -94,7 +94,7 @@ impl Default for McConfig {
 }
 
 /// Controller activity counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct McStats {
     /// PIM commands issued (DRAM-accessing plus execute-only).
     pub pim_commands: u64,
@@ -196,6 +196,8 @@ pub struct MemoryController {
     out: Vec<MemResp>,
     stats: McStats,
     trace: Vec<IssueRecord>,
+    sink: SharedSink,
+    channel_id: u8,
     /// Next sequence number each warp may dequeue (seq_order mode).
     expected_dequeue: std::collections::HashMap<orderlight::types::GlobalWarpId, u64>,
     /// Next sequence number each warp may issue (seq_order mode).
@@ -220,6 +222,8 @@ impl MemoryController {
             out: Vec::new(),
             stats: McStats::default(),
             trace: Vec::new(),
+            sink: nop_sink(),
+            channel_id: 0,
             expected_dequeue: std::collections::HashMap::new(),
             expected_issue: std::collections::HashMap::new(),
             cfg,
@@ -234,7 +238,23 @@ impl MemoryController {
         &self.trace
     }
 
-    fn record(&mut self, cycle: MemCycle, what: String, warp: Option<orderlight::types::GlobalWarpId>, seq: Option<u64>) {
+    /// Attaches a trace sink, tagging this controller's events with
+    /// `channel`. The sink is forwarded to the DRAM channel so per-bank
+    /// commands are captured too. Sinks only observe; behaviour is
+    /// unchanged.
+    pub fn set_sink(&mut self, sink: SharedSink, channel: u8) {
+        self.channel.set_sink(sink.clone(), channel);
+        self.sink = sink;
+        self.channel_id = channel;
+    }
+
+    fn record(
+        &mut self,
+        cycle: MemCycle,
+        what: String,
+        warp: Option<orderlight::types::GlobalWarpId>,
+        seq: Option<u64>,
+    ) {
         if self.cfg.trace {
             self.trace.push(IssueRecord { cycle, what, warp, seq });
         }
@@ -264,7 +284,15 @@ impl MemoryController {
         assert!(self.can_accept(&req), "push without backpressure check");
         match req {
             MemReq::Marker(copy) => match copy.marker {
-                Marker::OrderLight(_) => {
+                Marker::OrderLight(ref packet) => {
+                    if self.sink.is_enabled() {
+                        self.sink.emit(TraceEvent::PacketEnqueued {
+                            cycle: self.arrival_cycle,
+                            channel: self.channel_id,
+                            group: packet.group().0,
+                            number: packet.number(),
+                        });
+                    }
                     // Divergence point #2: separate read/write queues.
                     let mut copies = diverge(copy.marker, 2);
                     self.write_q.push(QueueEntry::Marker {
@@ -280,6 +308,14 @@ impl MemoryController {
                     if self.fences.on_probe(warp, fence_id) {
                         self.stats.fence_acks += 1;
                         self.out.push(MemResp::FenceAck { warp, fence_id });
+                        if self.sink.is_enabled() {
+                            self.sink.emit(TraceEvent::FenceAck {
+                                cycle: self.arrival_cycle,
+                                channel: self.channel_id,
+                                warp: warp.0,
+                                fence_id,
+                            });
+                        }
                     }
                 }
             },
@@ -288,10 +324,8 @@ impl MemoryController {
                 self.fences.on_arrival(meta.warp);
                 let (loc, group) = match &req {
                     MemReq::Pim { instr, .. } => {
-                        let loc = instr
-                            .op
-                            .accesses_dram()
-                            .then(|| self.cfg.mapping.decode(instr.addr));
+                        let loc =
+                            instr.op.accesses_dram().then(|| self.cfg.mapping.decode(instr.addr));
                         (loc, instr.group)
                     }
                     MemReq::HostRead { addr, .. } | MemReq::HostWrite { addr, .. } => {
@@ -361,16 +395,13 @@ impl MemoryController {
         for side in order {
             let q = self.queue(side);
             let mut first_fit = None;
-            for (i, p) in
-                q.eligible(|g| self.ordering.is_blocked(g), self.cfg.scan_depth)
-            {
+            for (i, p) in q.eligible(|g| self.ordering.is_blocked(g), self.cfg.scan_depth) {
                 if !self.txn_fits(p) {
                     continue;
                 }
                 if self.cfg.seq_order && p.req.is_pim() {
                     let meta = p.req.meta().expect("pim requests carry metadata");
-                    let expected =
-                        self.expected_dequeue.get(&meta.warp).copied().unwrap_or(1);
+                    let expected = self.expected_dequeue.get(&meta.warp).copied().unwrap_or(1);
                     if meta.seq != expected {
                         continue;
                     }
@@ -405,8 +436,16 @@ impl MemoryController {
                 };
                 self.queue_mut(side).mark_first_marker_offered();
                 progress = true;
-                if self.ordering.on_marker_copy(&copy).is_some() {
+                if let Some(packet) = self.ordering.on_marker_copy(&copy) {
                     self.stats.ol_packets += 1;
+                    if self.sink.is_enabled() {
+                        self.sink.emit(TraceEvent::PacketMerged {
+                            cycle: self.arrival_cycle,
+                            channel: self.channel_id,
+                            group: packet.group().0,
+                            number: packet.number(),
+                        });
+                    }
                     let key = copy.marker.key();
                     for s2 in [Side::Read, Side::Write] {
                         let popped = self.queue_mut(s2).pop_marker_by_key(&key);
@@ -433,6 +472,18 @@ impl MemoryController {
         for _ in 0..self.cfg.dequeues_per_cycle {
             let Some((side, index)) = self.pick_dequeue() else { break };
             let p = self.queue_mut(side).remove_request(index);
+            if self.sink.is_enabled() {
+                self.sink.emit(TraceEvent::SchedDecision {
+                    cycle: self.arrival_cycle,
+                    channel: self.channel_id,
+                    side: match side {
+                        Side::Read => SchedSide::Read,
+                        Side::Write => SchedSide::Write,
+                    },
+                    bank: p.loc.map_or(0xff, |l| l.bank.0),
+                    row_hit: self.is_row_hit(&p),
+                });
+            }
             if self.cfg.seq_order && p.req.is_pim() {
                 let meta = p.req.meta().expect("pim requests carry metadata");
                 self.expected_dequeue.insert(meta.warp, meta.seq + 1);
@@ -447,16 +498,14 @@ impl MemoryController {
             };
             match p.loc {
                 Some(loc) => {
-                    let txn =
-                        Transaction { kind, loc, group: p.group, meta, arrival: p.arrival };
+                    let txn = Transaction { kind, loc, group: p.group, meta, arrival: p.arrival };
                     self.bank_q[loc.bank.index()].push_back(txn);
                 }
                 None => {
                     // Execute-only PIM command: no DRAM access. `loc` is a
                     // placeholder; only `kind`/`group`/`meta` matter.
                     let loc = self.cfg.mapping.decode(orderlight::types::Addr(0));
-                    let txn =
-                        Transaction { kind, loc, group: p.group, meta, arrival: p.arrival };
+                    let txn = Transaction { kind, loc, group: p.group, meta, arrival: p.arrival };
                     self.exec_q.push_back(txn);
                 }
             }
@@ -497,6 +546,15 @@ impl MemoryController {
                         // Execute-only (no DRAM access).
                         self.pim.apply(op, instr.slot, None);
                         self.stats.exec_commands += 1;
+                        if self.sink.is_enabled() {
+                            self.sink.emit(TraceEvent::DramCmd {
+                                cycle: now,
+                                channel: self.channel_id,
+                                bank: 0xff,
+                                kind: DramCmdKind::Exec,
+                                row: u32::MAX,
+                            });
+                        }
                     }
                 }
             }
@@ -506,6 +564,14 @@ impl MemoryController {
                 self.stats.host_reads += 1;
                 self.stats.col_reads += 1;
                 self.stats.host_read_latency_sum += now.saturating_sub(txn.arrival);
+                if self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::HostReadDone {
+                        cycle: now,
+                        channel: self.channel_id,
+                        warp: txn.meta.warp.0,
+                        latency: now.saturating_sub(txn.arrival),
+                    });
+                }
             }
             TxnKind::HostWrite { data } => {
                 self.channel.write_open_row(bank, col, data);
@@ -522,6 +588,14 @@ impl MemoryController {
         for (warp, fence_id) in self.fences.on_issue(txn.meta.warp) {
             self.stats.fence_acks += 1;
             self.out.push(MemResp::FenceAck { warp, fence_id });
+            if self.sink.is_enabled() {
+                self.sink.emit(TraceEvent::FenceAck {
+                    cycle: now,
+                    channel: self.channel_id,
+                    warp: warp.0,
+                    fence_id,
+                });
+            }
         }
         self.stats.last_issue_cycle = now;
     }
@@ -552,9 +626,7 @@ impl MemoryController {
                     bank,
                     if head.is_write() { ColKind::Write } else { ColKind::Read },
                 ),
-                NeededCommand::Activate => {
-                    DramCommand::Activate { bank, row: head.loc.row }
-                }
+                NeededCommand::Activate => DramCommand::Activate { bank, row: head.loc.row },
                 NeededCommand::Precharge => DramCommand::Precharge { bank },
             };
             if !self.channel.can_issue(cmd, now) {
@@ -580,11 +652,7 @@ impl MemoryController {
             self.complete(txn, now);
             return;
         }
-        if self
-            .exec_q
-            .front()
-            .is_some_and(|head| self.seq_issue_ok(head))
-        {
+        if self.exec_q.front().is_some_and(|head| self.seq_issue_ok(head)) {
             let txn = self.exec_q.pop_front().expect("peeked head");
             self.complete(txn, now);
             return;
@@ -631,6 +699,16 @@ impl MemoryController {
         self.channel.maintain(now);
         self.read_q.record_tick();
         self.write_q.record_tick();
+        // Periodic occupancy sample for counter tracks (every 64 memory
+        // cycles keeps trace volume proportional to runtime, not work).
+        if self.sink.is_enabled() && now.is_multiple_of(64) {
+            self.sink.emit(TraceEvent::QueueSample {
+                cycle: now,
+                channel: self.channel_id,
+                read_q: self.read_q.len() as u32,
+                write_q: self.write_q.len() as u32,
+            });
+        }
         self.consume_markers();
         self.dequeue_phase();
         self.issue_phase(now);
@@ -727,11 +805,7 @@ mod tests {
 
     fn ol_marker(number: u32) -> MemReq {
         MemReq::Marker(MarkerCopy {
-            marker: Marker::OrderLight(OrderLightPacket::new(
-                ChannelId(0),
-                MemGroupId(0),
-                number,
-            )),
+            marker: Marker::OrderLight(OrderLightPacket::new(ChannelId(0), MemGroupId(0), number)),
             total_copies: 1,
         })
     }
@@ -814,10 +888,8 @@ mod tests {
         }
         m.push(fence_probe(9));
         let (out, _) = run_until_idle(&mut m);
-        let acks: Vec<_> = out
-            .iter()
-            .filter(|r| matches!(r, MemResp::FenceAck { fence_id: 9, .. }))
-            .collect();
+        let acks: Vec<_> =
+            out.iter().filter(|r| matches!(r, MemResp::FenceAck { fence_id: 9, .. })).collect();
         assert_eq!(acks.len(), 1);
         assert_eq!(m.stats().fence_acks, 1);
     }
@@ -858,10 +930,7 @@ mod tests {
         m.push(ol_marker(1));
         // Host write to a group-1 bank (banks 8..16 under the default
         // GroupMap): the start of bank 8's row region on channel 0.
-        let addr = m.cfg.mapping.compose(
-            ChannelId(0),
-            m.cfg.mapping.bank_base_offset(BankId(8)),
-        );
+        let addr = m.cfg.mapping.compose(ChannelId(0), m.cfg.mapping.bank_base_offset(BankId(8)));
         let loc = m.cfg.mapping.decode(addr);
         assert_eq!(loc.bank, BankId(8));
         assert_eq!(m.cfg.groups.group_of(loc.bank), MemGroupId(1));
@@ -969,10 +1038,8 @@ mod tests {
         m.push(pim_req(PimOp::Store, 64, 0, 1));
         let (_, _) = run_until_idle(&mut m);
         let trace = m.trace();
-        let kinds: Vec<&str> = trace
-            .iter()
-            .map(|r| r.what.split_whitespace().next().unwrap())
-            .collect();
+        let kinds: Vec<&str> =
+            trace.iter().map(|r| r.what.split_whitespace().next().unwrap()).collect();
         // ACT row 0, the load, then (same row) the store.
         assert_eq!(kinds, vec!["ACT", "pim_load", "pim_store"]);
         // Cycles are non-decreasing.

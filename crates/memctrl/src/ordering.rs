@@ -305,13 +305,8 @@ mod tests {
         let mut ord = GroupOrdering::new();
         ord.on_dequeue(MemGroupId(0));
         ord.on_dequeue(MemGroupId(2));
-        let pkt = OrderLightPacket::with_groups(
-            ChannelId(0),
-            MemGroupId(0),
-            &[MemGroupId(2)],
-            1,
-        )
-        .unwrap();
+        let pkt = OrderLightPacket::with_groups(ChannelId(0), MemGroupId(0), &[MemGroupId(2)], 1)
+            .unwrap();
         for c in diverge(Marker::OrderLight(pkt), 2) {
             ord.on_marker_copy(&c);
         }

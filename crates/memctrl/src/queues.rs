@@ -296,11 +296,8 @@ mod tests {
 
     #[test]
     fn fence_probe_constrains_nothing() {
-        let probe = Marker::FenceProbe {
-            warp: GlobalWarpId(0),
-            fence_id: 1,
-            channel: ChannelId(0),
-        };
+        let probe =
+            Marker::FenceProbe { warp: GlobalWarpId(0), fence_id: 1, channel: ChannelId(0) };
         let copy = diverge(probe, 1).pop().unwrap();
         assert!(!marker_constrains(&copy, MemGroupId(0)));
     }
@@ -310,10 +307,8 @@ mod tests {
         let mut q = TransQueue::new(8);
         q.push(req(0, 1));
         q.push(req(1, 2));
-        let eligible: Vec<u64> = q
-            .eligible(|g| g == MemGroupId(0), usize::MAX)
-            .map(|(_, p)| p.arrival)
-            .collect();
+        let eligible: Vec<u64> =
+            q.eligible(|g| g == MemGroupId(0), usize::MAX).map(|(_, p)| p.arrival).collect();
         assert_eq!(eligible, vec![2]);
     }
 

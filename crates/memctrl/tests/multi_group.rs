@@ -38,17 +38,10 @@ fn pim_to(
     group: u8,
     seq: u64,
 ) -> MemReq {
-    let addr = mapping.compose(
-        ChannelId(0),
-        mapping.bank_base_offset(BankId(bank)) + row * 2048 + col * 32,
-    );
+    let addr = mapping
+        .compose(ChannelId(0), mapping.bank_base_offset(BankId(bank)) + row * 2048 + col * 32);
     MemReq::Pim {
-        instr: PimInstruction {
-            op,
-            addr,
-            slot: TsSlot(col as u16),
-            group: MemGroupId(group),
-        },
+        instr: PimInstruction { op, addr, slot: TsSlot(col as u16), group: MemGroupId(group) },
         meta: ReqMeta { warp: GlobalWarpId::new(0, 0), seq },
     }
 }
@@ -147,10 +140,7 @@ fn single_group_packet_does_not_constrain_the_other_pim_group() {
     mc.push(pim_to(&mapping, PimOp::Store, 4, 0, 0, 1, g1_store));
     drain(&mut mc);
 
-    assert!(
-        cycle_of(&mc, g0_store) > cycle_of(&mc, g0_last_load),
-        "group 0 is ordered"
-    );
+    assert!(cycle_of(&mc, g0_store) > cycle_of(&mc, g0_last_load), "group 0 is ordered");
     assert!(
         cycle_of(&mc, g1_store) < cycle_of(&mc, g0_last_load),
         "the group-1 store must slip past the group-0 barrier"

@@ -1,18 +1,21 @@
-//! Property-based test of the controller's ordering guarantee: for any
+//! Randomized test of the controller's ordering guarantee: for any
 //! random multi-phase PIM program, the final DRAM contents under
 //! OrderLight equal a sequential interpretation — i.e. the FR-FCFS
 //! scheduler, free as it is to chase row hits, never reorders *across*
 //! a packet within the constrained group.
+//!
+//! Programs come from the in-tree deterministic PRNG
+//! ([`orderlight::rng::Rng`]) so every run exercises the same cases.
 
 use orderlight::mapping::{AddressMapping, GroupMap};
 use orderlight::message::{Marker, MarkerCopy, MemReq, ReqMeta};
 use orderlight::packet::OrderLightPacket;
+use orderlight::rng::Rng;
 use orderlight::types::{ChannelId, GlobalWarpId, MemGroupId, Stripe, TsSlot};
 use orderlight::{AluOp, PimInstruction, PimOp};
 use orderlight_hbm::{Channel, TimingParams};
 use orderlight_memctrl::{McConfig, MemoryController};
 use orderlight_pim::{PimUnit, TsSize};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// One random phase over a 4-slot tile.
@@ -23,19 +26,22 @@ enum PhaseKind {
     Store(u8),
 }
 
-fn phase() -> impl Strategy<Value = PhaseKind> {
-    prop_oneof![
-        (0u8..6).prop_map(PhaseKind::Load),
-        (0u8..6).prop_map(PhaseKind::FetchAdd),
-        (0u8..6).prop_map(PhaseKind::Store),
-    ]
+fn phase(rng: &mut Rng) -> PhaseKind {
+    let row = rng.gen_range(6) as u8;
+    match rng.gen_range(3) {
+        0 => PhaseKind::Load(row),
+        1 => PhaseKind::FetchAdd(row),
+        _ => PhaseKind::Store(row),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+#[test]
+fn orderlight_forces_sequential_semantics() {
+    let mut rng = Rng::new(0x0bdf);
+    for case in 0..64 {
+        let n_phases = 1 + rng.gen_index(23);
+        let phases: Vec<PhaseKind> = (0..n_phases).map(|_| phase(&mut rng)).collect();
 
-    #[test]
-    fn orderlight_forces_sequential_semantics(phases in proptest::collection::vec(phase(), 1..24)) {
         let mapping = AddressMapping::hbm_default();
         let cfg = McConfig {
             mapping: mapping.clone(),
@@ -47,7 +53,8 @@ proptest! {
         let mut mc = MemoryController::new(cfg, channel, pim);
 
         // Init six rows of distinct data (rows of bank 0, channel 0).
-        let addr = |row: u8, col: u64| mapping.compose(ChannelId(0), u64::from(row) * 2048 + col * 32);
+        let addr =
+            |row: u8, col: u64| mapping.compose(ChannelId(0), u64::from(row) * 2048 + col * 32);
         let mut golden_mem: HashMap<u64, Stripe> = HashMap::new();
         for row in 0..6u8 {
             for col in 0..4u64 {
@@ -120,19 +127,18 @@ proptest! {
             }
             mc.tick(now);
             now += 1;
-            prop_assert!(now < 2_000_000, "controller wedged");
+            assert!(now < 2_000_000, "case {case}: controller wedged");
         }
 
         // The simulated DRAM must match the sequential interpretation.
         for (a, v) in &golden_mem {
             let loc = mapping.decode(orderlight::types::Addr(*a));
-            prop_assert_eq!(
+            assert_eq!(
                 mc.channel().store().read(loc.bank, loc.row, loc.col),
                 *v,
-                "address {:#x} diverged from sequential semantics",
-                a
+                "case {case}: address {a:#x} diverged from sequential semantics"
             );
         }
-        prop_assert_eq!(mc.stats().sanity_violations, 0);
+        assert_eq!(mc.stats().sanity_violations, 0);
     }
 }

@@ -212,11 +212,7 @@ mod tests {
 
     fn marker(number: u32) -> MemReq {
         MemReq::Marker(MarkerCopy {
-            marker: Marker::OrderLight(OrderLightPacket::new(
-                ChannelId(0),
-                MemGroupId(0),
-                number,
-            )),
+            marker: Marker::OrderLight(OrderLightPacket::new(ChannelId(0), MemGroupId(0), number)),
             total_copies: 1,
         })
     }

@@ -5,10 +5,9 @@ use crate::delay_queue::DelayQueue;
 use crate::l2::L2Slice;
 use orderlight::message::{MemReq, MemResp};
 use orderlight::types::CoreCycle;
-use serde::{Deserialize, Serialize};
 
 /// Memory-pipe latencies and capacities (core-clock cycles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipeConfig {
     /// SM-to-L2 interconnect latency (Table 1: 120 cycles).
     pub icnt_latency: CoreCycle,
@@ -236,11 +235,7 @@ mod tests {
         pipe.push_request(pim(0, 0), 0);
         pipe.push_request(
             MemReq::Marker(MarkerCopy {
-                marker: Marker::OrderLight(OrderLightPacket::new(
-                    ChannelId(0),
-                    MemGroupId(0),
-                    1,
-                )),
+                marker: Marker::OrderLight(OrderLightPacket::new(ChannelId(0), MemGroupId(0), 1)),
                 total_copies: 1,
             }),
             0,

@@ -1,13 +1,16 @@
-//! Property-based tests of the memory pipe's ordering contract: markers
+//! Randomized tests of the memory pipe's ordering contract: markers
 //! never reorder against anything; requests never reorder against
 //! markers; every item is delivered exactly once.
+//!
+//! Inputs come from the in-tree deterministic PRNG
+//! ([`orderlight::rng::Rng`]) so every run exercises the same cases.
 
 use orderlight::message::{Marker, MarkerCopy, MemReq, ReqMeta};
 use orderlight::packet::OrderLightPacket;
+use orderlight::rng::Rng;
 use orderlight::types::{Addr, ChannelId, GlobalWarpId, MemGroupId, TsSlot};
 use orderlight::{PimInstruction, PimOp};
 use orderlight_noc::{MemoryPipe, PipeConfig};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 enum Item {
@@ -17,13 +20,21 @@ enum Item {
     Marker,
 }
 
-fn item() -> impl Strategy<Value = Item> {
-    prop_oneof![4 => (0u8..8).prop_map(Item::Req), 1 => Just(Item::Marker)]
+/// Weighted draw matching the old proptest strategy: 4:1 request:marker.
+fn item(rng: &mut Rng) -> Item {
+    if rng.gen_bool(4, 5) {
+        Item::Req(rng.gen_range(8) as u8)
+    } else {
+        Item::Marker
+    }
 }
 
-proptest! {
-    #[test]
-    fn pipe_ordering_contract(items in proptest::collection::vec(item(), 1..80)) {
+#[test]
+fn pipe_ordering_contract() {
+    let mut rng = Rng::new(0x90c0);
+    for case in 0..64 {
+        let len = 1 + rng.gen_index(79);
+        let items: Vec<Item> = (0..len).map(|_| item(&mut rng)).collect();
         let mut pipe = MemoryPipe::new(&PipeConfig::default());
         // Tag every item with its input index via the request seq /
         // packet number.
@@ -63,9 +74,9 @@ proptest! {
                 out.push(r);
             }
             now += 1;
-            prop_assert!(now < 500_000, "pipe wedged");
+            assert!(now < 500_000, "case {case}: pipe wedged");
         }
-        prop_assert!(pipe.is_empty());
+        assert!(pipe.is_empty());
 
         // Index of each output item in the input.
         let idx_of = |r: &MemReq| -> usize {
@@ -82,7 +93,7 @@ proptest! {
         // Exactly once.
         let mut sorted = out_idx.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..input.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..input.len()).collect::<Vec<_>>());
         // Markers are total-order barriers: for every marker at input
         // position m, everything before m leaves before it, everything
         // after m leaves after it.
@@ -92,9 +103,9 @@ proptest! {
                 for (other_pos, other) in out.iter().enumerate() {
                     let o = idx_of(other);
                     if o < m {
-                        prop_assert!(other_pos < pos, "item {o} leaked past marker {m}");
+                        assert!(other_pos < pos, "case {case}: item {o} leaked past marker {m}");
                     } else if o > m {
-                        prop_assert!(other_pos > pos, "item {o} overtook marker {m}");
+                        assert!(other_pos > pos, "case {case}: item {o} overtook marker {m}");
                     }
                 }
             }
@@ -110,7 +121,10 @@ proptest! {
                     _ => None,
                 })
                 .collect();
-            prop_assert!(mine.windows(2).all(|w| w[0] < w[1]), "sub-partition {sub} reordered");
+            assert!(
+                mine.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: sub-partition {sub} reordered"
+            );
         }
     }
 }

@@ -1,12 +1,11 @@
 //! Temporary storage (TS) associated with a PIM compute unit.
 
 use orderlight::types::{Stripe, TsSlot, BUS_BYTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// TS capacity as a fraction of the row-buffer size — the x-axis of the
 /// paper's Figures 5, 10, 12 and 13 ("1/16 RB" … "1/2 RB").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TsSize {
     /// 1/16 of the row buffer (128 B for 2 KB rows; tile N = 4 stripes).
     Sixteenth,

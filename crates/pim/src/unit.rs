@@ -11,10 +11,9 @@ use crate::alu::SimdAlu;
 use crate::ts::{TemporaryStorage, TsSize};
 use orderlight::types::{Stripe, TsSlot, BUS_BYTES};
 use orderlight::PimOp;
-use serde::{Deserialize, Serialize};
 
 /// Activity counters for one PIM unit.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PimUnitStats {
     /// Fine-grained PIM commands processed.
     pub commands: u64,

@@ -70,7 +70,11 @@ impl Default for SystemConfig {
             warps_per_sm: 2,
             timing: TimingParams::hbm_table1(),
             refresh: None,
-            mc: McConfig { mapping: mapping.clone(), groups: groups.clone(), ..McConfig::default() },
+            mc: McConfig {
+                mapping: mapping.clone(),
+                groups: groups.clone(),
+                ..McConfig::default()
+            },
             mapping,
             groups,
             pipe: PipeConfig::default(),
@@ -233,20 +237,16 @@ mod tests {
 
     #[test]
     fn validation_catches_mismatches() {
-        let mut c = SystemConfig::default();
-        c.channels = 8;
+        let c = SystemConfig { channels: 8, ..SystemConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = SystemConfig::default();
-        c.sms_used = 1;
-        c.warps_per_sm = 2;
+        let c = SystemConfig { sms_used: 1, warps_per_sm: 2, ..SystemConfig::default() };
         assert!(c.validate().is_err(), "cannot cover 16 channels");
     }
 
     #[test]
     #[allow(clippy::field_reassign_with_default)]
     fn pim_slice_scales_with_bmf() {
-        let mut e =
-            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        let mut e = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
         e.data_bytes_per_channel = 1 << 20;
         e.bmf = 16;
         assert_eq!(e.stripes_per_channel(), (1 << 20) / 32 / 16);

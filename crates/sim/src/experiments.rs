@@ -8,10 +8,9 @@ use orderlight::types::BankId;
 use orderlight_hbm::{Channel, ColKind, DramCommand, TimingParams};
 use orderlight_pim::TsSize;
 use orderlight_workloads::{OrderingMode, WorkloadId};
-use serde::{Deserialize, Serialize};
 
 /// One point of a design-space sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Workload run.
     pub workload: String,
@@ -63,6 +62,26 @@ pub fn run_experiment(mut exp: ExperimentConfig) -> Result<RunStats, SimError> {
     let b = budget(&exp);
     let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
     sys.run(b)
+}
+
+/// Like [`run_experiment`], but with `sink` attached to every SM,
+/// controller and DRAM channel before the run. Returns the statistics
+/// together with the system's clock domains, which exporters need to
+/// place core- and memory-clocked events on one time axis.
+///
+/// # Errors
+/// Returns [`SimError`] if the system fails to drain.
+pub fn run_experiment_traced(
+    mut exp: ExperimentConfig,
+    sink: orderlight_trace::SharedSink,
+) -> Result<(RunStats, orderlight_trace::ClockDomains), SimError> {
+    apply_sm_policy(&mut exp);
+    let b = budget(&exp);
+    let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
+    sys.attach_sink(sink);
+    let clocks = sys.clock_domains();
+    let stats = sys.run(b)?;
+    Ok((stats, clocks))
 }
 
 impl SimError {
@@ -137,13 +156,7 @@ pub fn fig10(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
         rows.push(run_point(wl, TsSize::Eighth, ExecMode::Gpu, 16, data_bytes_per_channel)?);
         for ts in TsSize::ALL {
             for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-                rows.push(run_point(
-                    wl,
-                    ts,
-                    ExecMode::Pim(mode),
-                    16,
-                    data_bytes_per_channel,
-                )?);
+                rows.push(run_point(wl, ts, ExecMode::Pim(mode), 16, data_bytes_per_channel)?);
             }
         }
     }
@@ -160,13 +173,7 @@ pub fn fig12(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
     for wl in WorkloadId::APPS {
         for ts in TsSize::ALL {
             for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-                rows.push(run_point(
-                    wl,
-                    ts,
-                    ExecMode::Pim(mode),
-                    16,
-                    data_bytes_per_channel,
-                )?);
+                rows.push(run_point(wl, ts, ExecMode::Pim(mode), 16, data_bytes_per_channel)?);
             }
         }
     }
@@ -197,7 +204,7 @@ pub fn fig13(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
 }
 
 /// Figure 11: the DRAM timing window — analytic and micro-simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig11 {
     /// Analytic window: tRCDW + 7·tCCD + tWP + tRP.
     pub analytic_window: u64,
@@ -250,7 +257,7 @@ pub fn fig11() -> Fig11 {
 /// fine-grained arbitration (host requests interleave) versus
 /// coarse-grained arbitration (host requests blocked until PIM
 /// completes, modelled as queueing the host work after the PIM run).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArbitrationAblation {
     /// Mean host read latency (memory cycles) with fine-grained
     /// arbitration.
@@ -293,7 +300,7 @@ pub fn ablation_arbitration(data_bytes_per_channel: u64) -> Result<ArbitrationAb
 }
 
 /// One row of the sequence-number (Kim et al. (paper reference 27)) comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeqNumRow {
     /// Configuration label ("orderlight", "seqnum B=8", ...).
     pub label: String,
@@ -320,10 +327,7 @@ pub fn ablation_seqnum(
     ts: TsSize,
 ) -> Result<Vec<SeqNumRow>, SimError> {
     let mut rows = Vec::new();
-    let mut base = ExperimentConfig::new(
-        WorkloadId::Add,
-        ExecMode::Pim(OrderingMode::OrderLight),
-    );
+    let mut base = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
     base.ts_size = ts;
     base.data_bytes_per_channel = data_bytes_per_channel;
     let ol = run_experiment(base.clone())?;
@@ -352,7 +356,7 @@ pub fn ablation_seqnum(
 
 /// The fence-scope ablation (paper Section 4.3): where the fence
 /// acknowledgement is generated decides both its cost and its safety.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FenceScopeAblation {
     /// Execution time with the correct issue-to-DRAM fence (ms).
     pub dram_issue_ms: f64,
@@ -405,12 +409,14 @@ pub fn ablation_fence_scope(
 /// one hardware context per channel.
 #[must_use]
 pub fn cpu_host_config() -> SystemConfig {
-    let mut sys = SystemConfig::default();
     // 2 GHz cores, eight of them driving two channels each.
-    sys.core_freq_hz = 2.0e9;
-    sys.total_sms = 8;
-    sys.sms_used = 8;
-    sys.warps_per_sm = 2;
+    let mut sys = SystemConfig {
+        core_freq_hz: 2.0e9,
+        total_sms: 8,
+        sms_used: 8,
+        warps_per_sm: 2,
+        ..SystemConfig::default()
+    };
     // Uncore: core -> L3 slice -> memory controller.
     sys.pipe.icnt_latency = 40;
     sys.pipe.sub_latency = 4;
@@ -425,7 +431,7 @@ pub fn cpu_host_config() -> SystemConfig {
 }
 
 /// One row of the CPU-host applicability study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuHostRow {
     /// Ordering primitive label.
     pub label: String,
@@ -468,7 +474,7 @@ pub fn ablation_cpu_host(
 }
 
 /// One row of the scheduler-knob ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerRow {
     /// Knob setting label.
     pub label: String,
@@ -493,29 +499,26 @@ pub struct SchedulerRow {
 /// Propagates [`SimError`].
 pub fn ablation_scheduler(data_bytes_per_channel: u64) -> Result<Vec<SchedulerRow>, SimError> {
     let mut rows = Vec::new();
-    let mut run_with =
-        |label: String, scan_depth: usize, bank_q: usize| -> Result<(), SimError> {
-            let mut pim = ExperimentConfig::new(
-                WorkloadId::Add,
-                ExecMode::Pim(OrderingMode::OrderLight),
-            );
-            pim.data_bytes_per_channel = data_bytes_per_channel;
-            pim.system.mc.scan_depth = scan_depth;
-            pim.system.mc.bank_queue_capacity = bank_q;
-            let pim_stats = run_experiment(pim)?;
-            let mut host = ExperimentConfig::new(WorkloadId::Add, ExecMode::Gpu);
-            host.data_bytes_per_channel = data_bytes_per_channel / 4;
-            host.system.mc.scan_depth = scan_depth;
-            host.system.mc.bank_queue_capacity = bank_q;
-            let host_stats = run_experiment(host)?;
-            rows.push(SchedulerRow {
-                label,
-                pim_command_gcs: pim_stats.command_bandwidth_gcs,
-                host_exec_ms: host_stats.exec_time_ms,
-                host_activates: host_stats.mc.activates,
-            });
-            Ok(())
-        };
+    let mut run_with = |label: String, scan_depth: usize, bank_q: usize| -> Result<(), SimError> {
+        let mut pim =
+            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        pim.data_bytes_per_channel = data_bytes_per_channel;
+        pim.system.mc.scan_depth = scan_depth;
+        pim.system.mc.bank_queue_capacity = bank_q;
+        let pim_stats = run_experiment(pim)?;
+        let mut host = ExperimentConfig::new(WorkloadId::Add, ExecMode::Gpu);
+        host.data_bytes_per_channel = data_bytes_per_channel / 4;
+        host.system.mc.scan_depth = scan_depth;
+        host.system.mc.bank_queue_capacity = bank_q;
+        let host_stats = run_experiment(host)?;
+        rows.push(SchedulerRow {
+            label,
+            pim_command_gcs: pim_stats.command_bandwidth_gcs,
+            host_exec_ms: host_stats.exec_time_ms,
+            host_activates: host_stats.mc.activates,
+        });
+        Ok(())
+    };
     for scan in [1usize, 4, 16, 64] {
         run_with(format!("scan_depth={scan}"), scan, 4)?;
     }
@@ -526,7 +529,7 @@ pub fn ablation_scheduler(data_bytes_per_channel: u64) -> Result<Vec<SchedulerRo
 }
 
 /// One row of the refresh ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefreshRow {
     /// Configuration label.
     pub label: String,
@@ -550,10 +553,8 @@ pub fn ablation_refresh(data_bytes_per_channel: u64) -> Result<Vec<RefreshRow>, 
         ("no refresh (paper)", None),
         ("HBM2 refresh", Some(orderlight_hbm::RefreshParams::hbm2())),
     ] {
-        let mut exp = ExperimentConfig::new(
-            WorkloadId::Add,
-            ExecMode::Pim(OrderingMode::OrderLight),
-        );
+        let mut exp =
+            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
         exp.data_bytes_per_channel = data_bytes_per_channel;
         exp.system.refresh = refresh;
         let stats = run_experiment(exp)?;
@@ -568,7 +569,7 @@ pub fn ablation_refresh(data_bytes_per_channel: u64) -> Result<Vec<RefreshRow>, 
 }
 
 /// One row of the page-policy ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PagePolicyRow {
     /// `workload / policy` label.
     pub label: String,
@@ -584,9 +585,7 @@ pub struct PagePolicyRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_page_policy(
-    data_bytes_per_channel: u64,
-) -> Result<Vec<PagePolicyRow>, SimError> {
+pub fn ablation_page_policy(data_bytes_per_channel: u64) -> Result<Vec<PagePolicyRow>, SimError> {
     use orderlight_memctrl::PagePolicy;
     let mut rows = Vec::new();
     for wl in [WorkloadId::Add, WorkloadId::GenFil] {
@@ -651,8 +650,7 @@ mod tests {
         let mut e = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence));
         apply_sm_policy(&mut e);
         assert_eq!((e.system.sms_used, e.system.warps_per_sm), (2, 8));
-        let mut e =
-            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        let mut e = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
         apply_sm_policy(&mut e);
         assert_eq!((e.system.sms_used, e.system.warps_per_sm), (8, 2));
     }

@@ -48,22 +48,22 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// assert!(chart.lines().next().unwrap().contains("####################"));
 /// ```
 ///
+/// Non-finite values (NaN, ±inf) render as zero-width bars instead of
+/// poisoning the scale: the maximum is taken over finite values only,
+/// and every bar is clamped to `width`.
+///
 /// # Panics
 /// Panics if `width` is zero.
 #[must_use]
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     assert!(width > 0, "chart width must be positive");
-    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let max = rows.iter().map(|(_, v)| *v).filter(|v| v.is_finite()).fold(0.0f64, f64::max);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-    let value_w = rows
-        .iter()
-        .map(|(_, v)| format!("{v:.3}").len())
-        .max()
-        .unwrap_or(0);
+    let value_w = rows.iter().map(|(_, v)| format!("{v:.3}").len()).max().unwrap_or(0);
     rows.iter()
         .map(|(label, v)| {
-            let n = if max > 0.0 {
-                ((v / max) * width as f64).round() as usize
+            let n = if max > 0.0 && v.is_finite() && *v > 0.0 {
+                (((v / max) * width as f64).round() as usize).min(width)
             } else {
                 0
             };
@@ -99,10 +99,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = format_table(
             &["kernel", "time"],
-            &[
-                vec!["Add".into(), "1.5".into()],
-                vec!["KMeans".into(), "12.25".into()],
-            ],
+            &[vec!["Add".into(), "1.5".into()], vec!["KMeans".into(), "12.25".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -129,6 +126,32 @@ mod tests {
     #[test]
     fn bar_chart_handles_all_zero() {
         let c = bar_chart(&[("x".to_string(), 0.0)], 8);
+        assert!(!c.contains('#'));
+    }
+
+    #[test]
+    fn bar_chart_survives_non_finite_values() {
+        // NaN / inf must not poison the scale or explode a bar's width;
+        // the finite value still gets its full-width bar.
+        let c = bar_chart(
+            &[
+                ("nan".to_string(), f64::NAN),
+                ("inf".to_string(), f64::INFINITY),
+                ("neg".to_string(), f64::NEG_INFINITY),
+                ("ok".to_string(), 2.0),
+            ],
+            10,
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(!lines[0].contains('#'), "NaN draws no bar: {}", lines[0]);
+        assert!(!lines[1].contains('#'), "inf draws no bar: {}", lines[1]);
+        assert!(!lines[2].contains('#'), "-inf draws no bar: {}", lines[2]);
+        assert!(lines[3].ends_with("#".repeat(10).as_str()), "finite max fills: {}", lines[3]);
+    }
+
+    #[test]
+    fn bar_chart_all_nan_is_flat() {
+        let c = bar_chart(&[("a".to_string(), f64::NAN), ("b".to_string(), f64::NAN)], 8);
         assert!(!c.contains('#'));
     }
 

@@ -2,10 +2,9 @@
 
 use orderlight_gpu::SmStats;
 use orderlight_memctrl::McStats;
-use serde::{Deserialize, Serialize};
 
 /// The result of one simulated run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunStats {
     /// Core cycles until every warp retired and the memory system
     /// drained.

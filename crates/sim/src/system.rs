@@ -72,10 +72,9 @@ impl System {
         // the paper's single-bank placement and one warp per channel.
         let total_warps = sys.sms_used * sys.warps_per_sm;
         let (interleave, host_slices) = match exp.mode {
-            ExecMode::Gpu => (
-                sys.groups.banks_per_group() as u64,
-                (total_warps / sys.channels).max(1) as u64,
-            ),
+            ExecMode::Gpu => {
+                (sys.groups.banks_per_group() as u64, (total_warps / sys.channels).max(1) as u64)
+            }
             ExecMode::Pim(_) => (1, 1),
         };
         let instance = WorkloadInstance::with_placement(
@@ -121,10 +120,7 @@ impl System {
     }
 
     /// Wires SMs, pipes and controllers around `instance`.
-    fn assemble(
-        exp: ExperimentConfig,
-        instance: WorkloadInstance,
-    ) -> Result<System, ConfigError> {
+    fn assemble(exp: ExperimentConfig, instance: WorkloadInstance) -> Result<System, ConfigError> {
         let sys = &exp.system;
         let total_warps = sys.sms_used * sys.warps_per_sm;
         let warp_count = match exp.mode {
@@ -135,10 +131,8 @@ impl System {
         // and makes the controller dequeue/issue strictly in order.
         let seq_mode =
             matches!(exp.mode, ExecMode::Pim(orderlight_workloads::OrderingMode::SeqNum));
-        let sm_cfg = orderlight_gpu::SmConfig {
-            credits: seq_mode.then_some(exp.seq_credits),
-            ..sys.sm
-        };
+        let sm_cfg =
+            orderlight_gpu::SmConfig { credits: seq_mode.then_some(exp.seq_credits), ..sys.sm };
 
         // Warp w drives channel w % channels (slice w / channels when
         // several warps cooperate per channel), packed across the SMs.
@@ -201,6 +195,27 @@ impl System {
             mem_now: 0,
             clock_acc: 0,
         })
+    }
+
+    /// Attaches a trace sink to every SM and memory controller (which
+    /// forwards it to its DRAM channel). The sink only observes: an
+    /// instrumented run is cycle-identical to an uninstrumented one.
+    /// The default sink is [`orderlight_trace::NopSink`], which costs a
+    /// single `is_enabled()` check per would-be event.
+    pub fn attach_sink(&mut self, sink: orderlight_trace::SharedSink) {
+        for sm in &mut self.sms {
+            sm.set_sink(sink.clone());
+        }
+        for (ch, mc) in self.mcs.iter_mut().enumerate() {
+            mc.set_sink(sink.clone(), ch as u8);
+        }
+    }
+
+    /// The clock frequencies of this system as trace clock domains, for
+    /// timestamp conversion when exporting events.
+    #[must_use]
+    pub fn clock_domains(&self) -> orderlight_trace::ClockDomains {
+        orderlight_trace::ClockDomains { core_hz: self.core_hz as f64, mem_hz: self.mem_hz as f64 }
     }
 
     /// The experiment this system was built for.
@@ -466,8 +481,7 @@ mod tests {
     #[test]
     fn add_fence_runs_and_verifies_but_stalls() {
         let mut sys =
-            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence)))
-                .unwrap();
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence))).unwrap();
         let stats = sys.run(50_000_000).unwrap();
         assert!(stats.is_correct());
         assert!(stats.sm.fences > 0);
@@ -481,8 +495,7 @@ mod tests {
     #[test]
     fn add_without_ordering_is_functionally_incorrect() {
         let mut sys =
-            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::None)))
-                .unwrap();
+            System::build(small_exp(WorkloadId::Add, ExecMode::Pim(OrderingMode::None))).unwrap();
         let stats = sys.run(20_000_000).unwrap();
         assert!(
             stats.verified_mismatches > 0,
@@ -543,10 +556,7 @@ mod tests {
         }
         let expected = sys.now() as f64 * 850.0 / 1200.0;
         let got = sys.mem_now() as f64;
-        assert!(
-            (got - expected).abs() <= 1.0,
-            "memory clock drifted: {got} vs {expected}"
-        );
+        assert!((got - expected).abs() <= 1.0, "memory clock drifted: {got} vs {expected}");
     }
 
     #[test]

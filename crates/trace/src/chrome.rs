@@ -1,0 +1,550 @@
+//! Chrome trace-event (Perfetto / `chrome://tracing`) exporter.
+//!
+//! The output is a JSON object with a `traceEvents` array following the
+//! Trace Event Format. Track layout:
+//!
+//! * one *process* per [`EventCategory`] (SM activity, packet
+//!   lifecycle, scheduler, DRAM),
+//! * one *thread* per entity inside it (per SM, per warp for fence
+//!   stalls, per channel, per channel×bank),
+//! * `"M"` metadata events name every process and thread,
+//! * fence stalls are `"B"`/`"E"` duration pairs, row-open residency is
+//!   a complete `"X"` span, queue occupancy is a `"C"` counter series,
+//!   and everything else is an instant `"i"`.
+//!
+//! Timestamps are microseconds. Events from the two clock domains are
+//! converted onto one wall-clock axis via [`ClockDomains`].
+
+use crate::event::{EventCategory, TraceEvent};
+use crate::json::escape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The two simulation clock frequencies, used to convert cycle stamps
+/// into wall-clock microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomains {
+    /// SM / core clock in Hz.
+    pub core_hz: f64,
+    /// Memory (controller + DRAM) clock in Hz.
+    pub mem_hz: f64,
+}
+
+impl ClockDomains {
+    /// The paper's configuration: 1.2 GHz cores, 850 MHz memory.
+    #[must_use]
+    pub fn paper() -> Self {
+        ClockDomains { core_hz: 1.2e9, mem_hz: 850.0e6 }
+    }
+
+    /// Converts a cycle stamp into microseconds on the shared axis.
+    #[must_use]
+    pub fn to_us(&self, cycle: u64, core_clock: bool) -> f64 {
+        let hz = if core_clock { self.core_hz } else { self.mem_hz };
+        cycle as f64 / hz * 1.0e6
+    }
+}
+
+impl Default for ClockDomains {
+    fn default() -> Self {
+        ClockDomains::paper()
+    }
+}
+
+/// Warp fence-stall tracks live above this tid inside the SM process,
+/// keeping them clear of per-SM tids.
+const WARP_TID_BASE: u64 = 1_000_000;
+
+/// DRAM tids pack channel and bank as `channel * BANK_STRIDE + bank`.
+const BANK_STRIDE: u64 = 1024;
+
+fn pid(cat: EventCategory) -> u64 {
+    match cat {
+        EventCategory::Sm => 1,
+        EventCategory::Packet => 2,
+        EventCategory::Scheduler => 3,
+        EventCategory::Dram => 4,
+    }
+}
+
+fn process_name(cat: EventCategory) -> &'static str {
+    match cat {
+        EventCategory::Sm => "SM activity",
+        EventCategory::Packet => "OrderLight packets",
+        EventCategory::Scheduler => "MC scheduler",
+        EventCategory::Dram => "DRAM commands",
+    }
+}
+
+/// Builds Chrome trace-event JSON from a flat event slice.
+#[derive(Debug, Clone)]
+pub struct ChromeTraceBuilder {
+    clocks: ClockDomains,
+}
+
+impl ChromeTraceBuilder {
+    /// Creates a builder converting cycles with `clocks`.
+    ///
+    /// # Panics
+    /// Panics if either frequency is not finite and positive.
+    #[must_use]
+    pub fn new(clocks: ClockDomains) -> Self {
+        assert!(
+            clocks.core_hz.is_finite() && clocks.core_hz > 0.0,
+            "core_hz must be finite and positive"
+        );
+        assert!(
+            clocks.mem_hz.is_finite() && clocks.mem_hz > 0.0,
+            "mem_hz must be finite and positive"
+        );
+        ChromeTraceBuilder { clocks }
+    }
+
+    /// Renders `events` as a complete Chrome trace JSON document.
+    #[must_use]
+    pub fn build(&self, events: &[TraceEvent]) -> String {
+        let mut rows: Vec<String> = Vec::with_capacity(events.len() + 16);
+        // (pid, tid) -> thread name, collected while walking events so
+        // metadata only names tracks that actually exist.
+        let mut threads: BTreeMap<(u64, u64), String> = BTreeMap::new();
+
+        for ev in events {
+            let cat = ev.category();
+            let p = pid(cat);
+            let ts = self.clocks.to_us(ev.cycle(), ev.is_core_clock());
+            match *ev {
+                TraceEvent::WarpIssue { sm, warp, kind, .. } => {
+                    let tid = u64::from(sm);
+                    threads.entry((p, tid)).or_insert_with(|| format!("SM {sm}"));
+                    rows.push(instant(
+                        &format!("issue:{}", kind.label()),
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[("warp", Arg::U(u64::from(warp)))],
+                    ));
+                }
+                TraceEvent::WarpRetire { sm, warp, .. } => {
+                    let tid = u64::from(sm);
+                    threads.entry((p, tid)).or_insert_with(|| format!("SM {sm}"));
+                    rows.push(instant(
+                        "retire",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[("warp", Arg::U(u64::from(warp)))],
+                    ));
+                }
+                TraceEvent::FenceStallBegin { sm, warp, fence_id, .. } => {
+                    let tid = WARP_TID_BASE + u64::from(warp);
+                    threads.entry((p, tid)).or_insert_with(|| format!("warp {warp} stalls"));
+                    rows.push(span(
+                        "fence-stall",
+                        "B",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        None,
+                        &[("sm", Arg::U(u64::from(sm))), ("fence_id", Arg::U(fence_id))],
+                    ));
+                }
+                TraceEvent::FenceStallEnd { warp, fence_id, .. } => {
+                    let tid = WARP_TID_BASE + u64::from(warp);
+                    threads.entry((p, tid)).or_insert_with(|| format!("warp {warp} stalls"));
+                    rows.push(span(
+                        "fence-stall",
+                        "E",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        None,
+                        &[("fence_id", Arg::U(fence_id))],
+                    ));
+                }
+                TraceEvent::PacketCreated { channel, group, number, warp, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "pkt-created",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("number", Arg::U(u64::from(number))),
+                            ("warp", Arg::U(u64::from(warp))),
+                        ],
+                    ));
+                }
+                TraceEvent::PacketEnqueued { channel, group, number, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "pkt-enqueued",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("number", Arg::U(u64::from(number))),
+                        ],
+                    ));
+                }
+                TraceEvent::PacketMerged { channel, group, number, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "pkt-merged",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("number", Arg::U(u64::from(number))),
+                        ],
+                    ));
+                }
+                TraceEvent::FenceAck { channel, warp, fence_id, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "fence-ack",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[("warp", Arg::U(u64::from(warp))), ("fence_id", Arg::U(fence_id))],
+                    ));
+                }
+                TraceEvent::SchedDecision { channel, side, bank, row_hit, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    let name = match side {
+                        crate::event::SchedSide::Read => "sched:RD",
+                        crate::event::SchedSide::Write => "sched:WR",
+                    };
+                    rows.push(instant(
+                        name,
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[("bank", Arg::U(u64::from(bank))), ("row_hit", Arg::B(row_hit))],
+                    ));
+                }
+                TraceEvent::QueueSample { channel, read_q, write_q, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(counter(
+                        &format!("queues ch{channel}"),
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("read_q", Arg::U(u64::from(read_q))),
+                            ("write_q", Arg::U(u64::from(write_q))),
+                        ],
+                    ));
+                }
+                TraceEvent::HostReadDone { channel, warp, latency, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "host-read-done",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[("warp", Arg::U(u64::from(warp))), ("latency", Arg::U(latency))],
+                    ));
+                }
+                TraceEvent::DramCmd { channel, bank, kind, row, .. } => {
+                    let tid = u64::from(channel) * BANK_STRIDE + u64::from(bank);
+                    threads.entry((p, tid)).or_insert_with(|| bank_track_name(channel, bank));
+                    let mut args: Vec<(&str, Arg)> = Vec::new();
+                    if row != u32::MAX {
+                        args.push(("row", Arg::U(u64::from(row))));
+                    }
+                    rows.push(instant(kind.mnemonic(), cat, p, tid, ts, &args));
+                }
+                TraceEvent::RowInterval { channel, bank, row, open_cycles, .. } => {
+                    let tid = u64::from(channel) * BANK_STRIDE + u64::from(bank);
+                    threads.entry((p, tid)).or_insert_with(|| bank_track_name(channel, bank));
+                    // "X" spans start at open time; the event is stamped
+                    // at close time.
+                    let open_ts = self.clocks.to_us(ev.cycle().saturating_sub(open_cycles), false);
+                    let dur = ts - open_ts;
+                    rows.push(span(
+                        &format!("row {row}"),
+                        "X",
+                        cat,
+                        p,
+                        tid,
+                        open_ts,
+                        Some(dur),
+                        &[("open_cycles", Arg::U(open_cycles))],
+                    ));
+                }
+            }
+        }
+
+        // Metadata: name every process that has at least one thread,
+        // then every thread.
+        let mut meta: Vec<String> = Vec::new();
+        let mut named_pids: Vec<u64> = Vec::new();
+        for (&(p, tid), name) in &threads {
+            if !named_pids.contains(&p) {
+                named_pids.push(p);
+                let cat = EventCategory::ALL
+                    .iter()
+                    .copied()
+                    .find(|&c| pid(c) == p)
+                    .expect("pid maps back to a category");
+                meta.push(format!(
+                    r#"{{"ph":"M","name":"process_name","pid":{p},"tid":0,"args":{{"name":"{}"}}}}"#,
+                    escape(process_name(cat))
+                ));
+            }
+            meta.push(format!(
+                r#"{{"ph":"M","name":"thread_name","pid":{p},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+                escape(name)
+            ));
+        }
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for row in meta.iter().chain(rows.iter()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(row);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn bank_track_name(channel: u8, bank: u8) -> String {
+    if bank == 0xff {
+        format!("ch{channel} exec")
+    } else {
+        format!("ch{channel} bank{bank}")
+    }
+}
+
+/// A JSON-serializable argument value.
+enum Arg {
+    U(u64),
+    B(bool),
+}
+
+fn write_args(out: &mut String, args: &[(&str, Arg)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(k));
+        match v {
+            Arg::U(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Arg::B(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn instant(
+    name: &str,
+    cat: EventCategory,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    args: &[(&str, Arg)],
+) -> String {
+    let mut out = format!(
+        r#"{{"ph":"i","s":"t","name":"{}","cat":"{}","pid":{pid},"tid":{tid},"ts":{ts:.6}"#,
+        escape(name),
+        cat.name()
+    );
+    if !args.is_empty() {
+        write_args(&mut out, args);
+    }
+    out.push('}');
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn span(
+    name: &str,
+    ph: &str,
+    cat: EventCategory,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    dur: Option<f64>,
+    args: &[(&str, Arg)],
+) -> String {
+    let mut out = format!(
+        r#"{{"ph":"{ph}","name":"{}","cat":"{}","pid":{pid},"tid":{tid},"ts":{ts:.6}"#,
+        escape(name),
+        cat.name()
+    );
+    if let Some(d) = dur {
+        let _ = write!(out, ",\"dur\":{d:.6}");
+    }
+    if !args.is_empty() {
+        write_args(&mut out, args);
+    }
+    out.push('}');
+    out
+}
+
+fn counter(
+    name: &str,
+    cat: EventCategory,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    args: &[(&str, Arg)],
+) -> String {
+    let mut out = format!(
+        r#"{{"ph":"C","name":"{}","cat":"{}","pid":{pid},"tid":{tid},"ts":{ts:.6}"#,
+        escape(name),
+        cat.name()
+    );
+    write_args(&mut out, args);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DramCmdKind, InstrKind, SchedSide};
+    use crate::json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::WarpIssue { cycle: 0, sm: 0, warp: 0, kind: InstrKind::Fence },
+            TraceEvent::FenceStallBegin { cycle: 1, sm: 0, warp: 0, fence_id: 7 },
+            TraceEvent::PacketCreated { cycle: 1, channel: 0, group: 2, number: 3, warp: 0 },
+            TraceEvent::PacketMerged { cycle: 5, channel: 0, group: 2, number: 3 },
+            TraceEvent::SchedDecision {
+                cycle: 6,
+                channel: 0,
+                side: SchedSide::Read,
+                bank: 1,
+                row_hit: true,
+            },
+            TraceEvent::QueueSample { cycle: 8, channel: 0, read_q: 4, write_q: 2 },
+            TraceEvent::DramCmd {
+                cycle: 9,
+                channel: 0,
+                bank: 1,
+                kind: DramCmdKind::Activate,
+                row: 42,
+            },
+            TraceEvent::RowInterval { cycle: 30, channel: 0, bank: 1, row: 42, open_cycles: 21 },
+            TraceEvent::FenceStallEnd { cycle: 40, sm: 0, warp: 0, fence_id: 7 },
+        ]
+    }
+
+    #[test]
+    fn output_parses_and_covers_all_categories() {
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&sample_events());
+        let doc = json::parse(&jsonic).expect("exporter output must be valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 9 payload events + metadata rows.
+        assert!(evs.len() > 9);
+        let mut cats: Vec<&str> =
+            evs.iter().filter_map(|e| e.get("cat").and_then(|c| c.as_str())).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats, vec!["dram", "packet", "scheduler", "sm"]);
+    }
+
+    #[test]
+    fn fence_stall_emits_matched_begin_end_pair() {
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&sample_events());
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let stalls: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("fence-stall"))
+            .collect();
+        assert_eq!(stalls.len(), 2);
+        let phases: Vec<&str> =
+            stalls.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phases, vec!["B", "E"]);
+        // Same track, so Perfetto pairs them up.
+        assert_eq!(stalls[0].get("tid").unwrap().as_f64(), stalls[1].get("tid").unwrap().as_f64());
+        let b = stalls[0].get("ts").unwrap().as_f64().unwrap();
+        let e = stalls[1].get("ts").unwrap().as_f64().unwrap();
+        assert!(e > b);
+    }
+
+    #[test]
+    fn queue_sample_becomes_counter_event() {
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&sample_events());
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let c = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .expect("QueueSample exports as a counter");
+        let args = c.get("args").unwrap();
+        assert_eq!(args.get("read_q").unwrap().as_f64(), Some(4.0));
+        assert_eq!(args.get("write_q").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn row_interval_becomes_complete_span_with_duration() {
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&sample_events());
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let x = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("RowInterval exports as a complete span");
+        let dur = x.get("dur").unwrap().as_f64().unwrap();
+        // 21 memory cycles at 850 MHz ≈ 0.0247 us.
+        assert!((dur - 21.0 / 850.0e6 * 1.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metadata_names_every_track() {
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&sample_events());
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"SM activity"));
+        assert!(names.contains(&"DRAM commands"));
+        assert!(names.contains(&"ch0 bank1"));
+        assert!(names.contains(&"warp 0 stalls"));
+    }
+
+    #[test]
+    fn clock_domains_place_core_and_mem_events_on_one_axis() {
+        let clocks = ClockDomains { core_hz: 2.0e9, mem_hz: 1.0e9 };
+        // 20 core cycles at 2 GHz == 10 ns == 10 mem cycles at 1 GHz.
+        assert!((clocks.to_us(20, true) - clocks.to_us(10, false)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,360 @@
+//! The typed trace-event vocabulary.
+//!
+//! Events carry plain integers (no simulator types) so the crate stays
+//! dependency-free and events remain cheap to copy into a ring buffer.
+//! Cycle stamps are in the emitting component's own clock domain: SM
+//! events count **core** cycles, controller/DRAM events count **memory**
+//! cycles. Exporters convert both onto one wall-clock axis via
+//! [`crate::ClockDomains`].
+
+/// Which kernel-instruction class a warp issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// A fine-grained PIM instruction (load/compute/store/execute).
+    Pim,
+    /// A conventional host load.
+    Load,
+    /// A conventional host store.
+    Store,
+    /// An in-core SIMD compute.
+    Compute,
+    /// A fence ordering primitive.
+    Fence,
+    /// An OrderLight ordering primitive.
+    OrderLight,
+}
+
+impl InstrKind {
+    /// Short label for track names and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrKind::Pim => "pim",
+            InstrKind::Load => "load",
+            InstrKind::Store => "store",
+            InstrKind::Compute => "compute",
+            InstrKind::Fence => "fence",
+            InstrKind::OrderLight => "orderlight",
+        }
+    }
+}
+
+/// A DRAM (or PIM-execute) command class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCmdKind {
+    /// Row activation.
+    Activate,
+    /// Precharge.
+    Precharge,
+    /// Column read.
+    Read,
+    /// Column write.
+    Write,
+    /// Execute-only PIM command (no DRAM access).
+    Exec,
+}
+
+impl DramCmdKind {
+    /// Conventional mnemonic (`ACT`, `PRE`, `RD`, `WR`, `EXEC`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DramCmdKind::Activate => "ACT",
+            DramCmdKind::Precharge => "PRE",
+            DramCmdKind::Read => "RD",
+            DramCmdKind::Write => "WR",
+            DramCmdKind::Exec => "EXEC",
+        }
+    }
+}
+
+/// Which transaction queue a scheduler decision drew from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedSide {
+    /// The read queue.
+    Read,
+    /// The write queue.
+    Write,
+}
+
+/// One cycle-stamped observation from the simulation.
+///
+/// The taxonomy follows the paper's explanatory figures: warp activity
+/// and fence stalls (Figures 5/7), the OrderLight packet lifecycle
+/// (Figures 8/9), memory-controller scheduling, and the per-bank DRAM
+/// command timeline (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A warp issued an instruction (core cycles).
+    WarpIssue {
+        /// Core cycle of issue.
+        cycle: u64,
+        /// Issuing SM index.
+        sm: u32,
+        /// Flattened global warp id.
+        warp: u32,
+        /// Instruction class.
+        kind: InstrKind,
+    },
+    /// A warp retired (program exhausted; core cycles).
+    WarpRetire {
+        /// Core cycle of retirement.
+        cycle: u64,
+        /// SM index.
+        sm: u32,
+        /// Flattened global warp id.
+        warp: u32,
+    },
+    /// A warp entered the fence-stall state (core cycles).
+    FenceStallBegin {
+        /// Core cycle the stall began.
+        cycle: u64,
+        /// SM index.
+        sm: u32,
+        /// Flattened global warp id.
+        warp: u32,
+        /// Per-warp fence id the acknowledgement must carry.
+        fence_id: u64,
+    },
+    /// The fence acknowledgement arrived and the warp resumed (core
+    /// cycles).
+    FenceStallEnd {
+        /// Core cycle the stall ended.
+        cycle: u64,
+        /// SM index.
+        sm: u32,
+        /// Flattened global warp id.
+        warp: u32,
+        /// The acknowledged fence id.
+        fence_id: u64,
+    },
+    /// An OrderLight packet was created and injected at the core (core
+    /// cycles).
+    PacketCreated {
+        /// Core cycle of creation.
+        cycle: u64,
+        /// Destination memory channel.
+        channel: u8,
+        /// Constrained memory group.
+        group: u8,
+        /// Per-(channel, group) packet number.
+        number: u32,
+        /// Creating warp (flattened id).
+        warp: u32,
+    },
+    /// A packet copy arrived at the controller's transaction queues
+    /// (memory cycles).
+    PacketEnqueued {
+        /// Memory cycle of arrival.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Constrained memory group.
+        group: u8,
+        /// Packet number.
+        number: u32,
+    },
+    /// All copies of a packet converged and merged at the scheduler
+    /// (memory cycles).
+    PacketMerged {
+        /// Memory cycle of the merge.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Constrained memory group.
+        group: u8,
+        /// Packet number.
+        number: u32,
+    },
+    /// The controller generated a fence acknowledgement (memory cycles).
+    FenceAck {
+        /// Memory cycle of the acknowledgement.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Acknowledged warp (flattened id).
+        warp: u32,
+        /// Acknowledged fence id.
+        fence_id: u64,
+    },
+    /// The FR-FCFS scheduler dequeued a transaction into a command queue
+    /// (memory cycles).
+    SchedDecision {
+        /// Memory cycle of the decision.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Queue the pick came from.
+        side: SchedSide,
+        /// Destination bank (`0xff` for execute-only commands).
+        bank: u8,
+        /// Whether the pick was a row hit at decision time.
+        row_hit: bool,
+    },
+    /// Periodic transaction-queue occupancy sample (memory cycles).
+    QueueSample {
+        /// Memory cycle of the sample.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Read-queue occupancy.
+        read_q: u32,
+        /// Write-queue occupancy.
+        write_q: u32,
+    },
+    /// A DRAM (or PIM-execute) command issued (memory cycles).
+    DramCmd {
+        /// Memory cycle of issue.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Target bank (`0xff` for execute-only commands).
+        bank: u8,
+        /// Command class.
+        kind: DramCmdKind,
+        /// Target row (`u32::MAX` when not row-addressed).
+        row: u32,
+    },
+    /// A bank's row closed after `open_cycles` of residency (memory
+    /// cycles; emitted at precharge time).
+    RowInterval {
+        /// Memory cycle the row closed.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Bank.
+        bank: u8,
+        /// The row that was open.
+        row: u32,
+        /// Cycles the row spent open.
+        open_cycles: u64,
+    },
+    /// A host read completed; `latency` is arrival-to-column-issue in
+    /// memory cycles.
+    HostReadDone {
+        /// Memory cycle of completion.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Requesting warp (flattened id).
+        warp: u32,
+        /// Service latency in memory cycles.
+        latency: u64,
+    },
+}
+
+/// The coarse category an event belongs to — one Perfetto "process" per
+/// category, and the acceptance vocabulary for coverage checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventCategory {
+    /// SM / warp activity (issue, retire, fence stalls).
+    Sm,
+    /// OrderLight packet lifecycle and fence acknowledgements.
+    Packet,
+    /// Memory-controller scheduling and queue occupancy.
+    Scheduler,
+    /// Per-bank DRAM command timeline.
+    Dram,
+}
+
+impl EventCategory {
+    /// All categories, in display order.
+    pub const ALL: [EventCategory; 4] =
+        [EventCategory::Sm, EventCategory::Packet, EventCategory::Scheduler, EventCategory::Dram];
+
+    /// Stable lowercase name (used as the Chrome `cat` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventCategory::Sm => "sm",
+            EventCategory::Packet => "packet",
+            EventCategory::Scheduler => "scheduler",
+            EventCategory::Dram => "dram",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The event's category.
+    #[must_use]
+    pub fn category(&self) -> EventCategory {
+        match self {
+            TraceEvent::WarpIssue { .. }
+            | TraceEvent::WarpRetire { .. }
+            | TraceEvent::FenceStallBegin { .. }
+            | TraceEvent::FenceStallEnd { .. } => EventCategory::Sm,
+            TraceEvent::PacketCreated { .. }
+            | TraceEvent::PacketEnqueued { .. }
+            | TraceEvent::PacketMerged { .. }
+            | TraceEvent::FenceAck { .. } => EventCategory::Packet,
+            TraceEvent::SchedDecision { .. }
+            | TraceEvent::QueueSample { .. }
+            | TraceEvent::HostReadDone { .. } => EventCategory::Scheduler,
+            TraceEvent::DramCmd { .. } | TraceEvent::RowInterval { .. } => EventCategory::Dram,
+        }
+    }
+
+    /// The raw cycle stamp (in the emitting component's clock domain).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::WarpIssue { cycle, .. }
+            | TraceEvent::WarpRetire { cycle, .. }
+            | TraceEvent::FenceStallBegin { cycle, .. }
+            | TraceEvent::FenceStallEnd { cycle, .. }
+            | TraceEvent::PacketCreated { cycle, .. }
+            | TraceEvent::PacketEnqueued { cycle, .. }
+            | TraceEvent::PacketMerged { cycle, .. }
+            | TraceEvent::FenceAck { cycle, .. }
+            | TraceEvent::SchedDecision { cycle, .. }
+            | TraceEvent::QueueSample { cycle, .. }
+            | TraceEvent::DramCmd { cycle, .. }
+            | TraceEvent::RowInterval { cycle, .. }
+            | TraceEvent::HostReadDone { cycle, .. } => cycle,
+        }
+    }
+
+    /// Whether the cycle stamp counts **core** cycles (`true`) or
+    /// **memory** cycles (`false`).
+    #[must_use]
+    pub fn is_core_clock(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::WarpIssue { .. }
+                | TraceEvent::WarpRetire { .. }
+                | TraceEvent::FenceStallBegin { .. }
+                | TraceEvent::FenceStallEnd { .. }
+                | TraceEvent::PacketCreated { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_partition_the_taxonomy() {
+        let e = TraceEvent::WarpIssue { cycle: 1, sm: 0, warp: 0, kind: InstrKind::Pim };
+        assert_eq!(e.category(), EventCategory::Sm);
+        assert!(e.is_core_clock());
+        let e = TraceEvent::PacketMerged { cycle: 9, channel: 0, group: 0, number: 1 };
+        assert_eq!(e.category(), EventCategory::Packet);
+        assert!(!e.is_core_clock());
+        let e = TraceEvent::QueueSample { cycle: 2, channel: 1, read_q: 3, write_q: 4 };
+        assert_eq!(e.category(), EventCategory::Scheduler);
+        let e =
+            TraceEvent::DramCmd { cycle: 5, channel: 0, bank: 2, kind: DramCmdKind::Read, row: 1 };
+        assert_eq!(e.category(), EventCategory::Dram);
+        assert_eq!(e.cycle(), 5);
+    }
+
+    #[test]
+    fn packet_creation_is_core_clocked_but_lifecycle_is_memory_clocked() {
+        let created =
+            TraceEvent::PacketCreated { cycle: 0, channel: 0, group: 0, number: 1, warp: 0 };
+        let merged = TraceEvent::PacketMerged { cycle: 0, channel: 0, group: 0, number: 1 };
+        assert!(created.is_core_clock());
+        assert!(!merged.is_core_clock());
+    }
+}

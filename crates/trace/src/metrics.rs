@@ -1,0 +1,342 @@
+//! Latency histograms and the named counter registry.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket latency histogram.
+///
+/// Buckets are defined by ascending *inclusive upper edges*; one
+/// overflow bucket catches everything above the last edge. Recording is
+/// O(log buckets).
+///
+/// # Example
+///
+/// ```
+/// use orderlight_trace::Histogram;
+/// let mut h = Histogram::new(vec![10, 100, 1000]);
+/// h.record(10);   // first bucket (edge inclusive)
+/// h.record(11);   // second bucket
+/// h.record(5000); // overflow
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `edges` (ascending inclusive upper
+    /// bounds) plus an overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(edges: Vec<u64>) -> Self {
+        assert!(!edges.is_empty(), "a histogram needs at least one edge");
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "bucket edges must be strictly ascending");
+        let n = edges.len() + 1;
+        Histogram { edges, counts: vec![0; n], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// A doubling-edge histogram: up to `count` edges starting at
+    /// `first` (`first`, `2*first`, `4*first`, …) — the usual shape for
+    /// cycle latencies spanning several orders of magnitude. Doubling
+    /// stops early if the next edge would overflow `u64`.
+    ///
+    /// # Panics
+    /// Panics if `first` is zero or `count` is zero.
+    #[must_use]
+    pub fn exponential(first: u64, count: usize) -> Self {
+        assert!(first > 0 && count > 0, "exponential histogram needs first > 0, count > 0");
+        let mut edges = Vec::with_capacity(count);
+        let mut e = first;
+        for _ in 0..count {
+            edges.push(e);
+            if e > u64::MAX / 2 {
+                break;
+            }
+            e *= 2;
+        }
+        Histogram::new(edges)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.edges.partition_point(|&e| e < value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The bucket edges.
+    #[must_use]
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (`edges.len() + 1` entries; last = overflow).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// `(label, count)` rows for chart rendering: `"<=N"` per edge plus
+    /// a final `">N"` overflow row.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .edges
+            .iter()
+            .zip(&self.counts)
+            .map(|(e, c)| (format!("<={e}"), *c as f64))
+            .collect();
+        rows.push((
+            format!(">{}", self.edges.last().expect("non-empty edges")),
+            *self.counts.last().expect("overflow bucket") as f64,
+        ));
+        rows
+    }
+}
+
+/// Named per-epoch metrics, dumped as CSV.
+///
+/// Columns are registered on first use and keep their insertion order;
+/// [`CounterRegistry::end_epoch`] freezes the current row. Missing
+/// columns in an epoch read as 0.
+///
+/// # Example
+///
+/// ```
+/// use orderlight_trace::CounterRegistry;
+/// let mut reg = CounterRegistry::new();
+/// reg.add("fence_wait", 120.0);
+/// reg.add("queue_depth", 3.5);
+/// reg.end_epoch();
+/// reg.add("fence_wait", 80.0);
+/// reg.end_epoch();
+/// let csv = reg.to_csv();
+/// assert!(csv.starts_with("epoch,fence_wait,queue_depth\n"));
+/// assert!(csv.contains("\n1,80,0\n"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    epochs: Vec<Vec<f64>>,
+    current: Vec<f64>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterRegistry::default()
+    }
+
+    fn column(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Adds `value` to counter `name` in the current epoch.
+    pub fn add(&mut self, name: &str, value: f64) {
+        let i = self.column(name);
+        if self.current.len() <= i {
+            self.current.resize(i + 1, 0.0);
+        }
+        self.current[i] += value;
+    }
+
+    /// Sets counter `name` to `value` in the current epoch (gauges).
+    pub fn set(&mut self, name: &str, value: f64) {
+        let i = self.column(name);
+        if self.current.len() <= i {
+            self.current.resize(i + 1, 0.0);
+        }
+        self.current[i] = value;
+    }
+
+    /// Reads counter `name` from the current (open) epoch.
+    #[must_use]
+    pub fn get(&self, name: &str) -> f64 {
+        self.index.get(name).and_then(|&i| self.current.get(i)).copied().unwrap_or(0.0)
+    }
+
+    /// Closes the current epoch, starting a fresh one.
+    pub fn end_epoch(&mut self) {
+        self.epochs.push(std::mem::take(&mut self.current));
+    }
+
+    /// Number of closed epochs.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Registered column names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Renders all closed epochs as CSV (`epoch,<name>,...`).
+    ///
+    /// Values are printed with up to three decimals, trailing zeros
+    /// trimmed, so integral counters stay readable.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch");
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for (e, row) in self.epochs.iter().enumerate() {
+            let _ = write!(out, "{e}");
+            for i in 0..self.names.len() {
+                let v = row.get(i).copied().unwrap_or(0.0);
+                let mut s = format!("{v:.3}");
+                while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+                    s.pop();
+                }
+                let _ = write!(out, ",{s}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(vec![8, 64, 512]);
+        // Exactly on an edge -> that bucket.
+        h.record(8);
+        h.record(64);
+        h.record(512);
+        // One past an edge -> the next bucket.
+        h.record(9);
+        h.record(65);
+        h.record(513);
+        // Zero -> first bucket.
+        h.record(0);
+        assert_eq!(h.counts(), &[2, 2, 2, 1]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(513));
+    }
+
+    #[test]
+    fn exponential_edges_double() {
+        let h = Histogram::exponential(4, 5);
+        assert_eq!(h.edges(), &[4, 8, 16, 32, 64]);
+        assert_eq!(h.counts().len(), 6);
+    }
+
+    #[test]
+    fn exponential_edges_stop_before_overflowing() {
+        let h = Histogram::exponential(1 << 40, 30);
+        assert!(h.edges().windows(2).all(|w| w[0] < w[1]));
+        assert!(h.edges().len() < 30, "doubling must stop before overflow");
+        assert_eq!(*h.edges().last().unwrap(), 1u64 << 63);
+    }
+
+    #[test]
+    fn mean_and_empty_behaviour() {
+        let mut h = Histogram::new(vec![10]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        h.record(4);
+        h.record(8);
+        assert!((h.mean() - 6.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rows_label_every_bucket() {
+        let mut h = Histogram::new(vec![10, 100]);
+        h.record(5);
+        h.record(1000);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("<=10".to_string(), 1.0));
+        assert_eq!(rows[2], (">100".to_string(), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_edges_panic() {
+        let _ = Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn registry_rows_align_to_late_registered_columns() {
+        let mut reg = CounterRegistry::new();
+        reg.add("a", 1.0);
+        reg.end_epoch();
+        reg.add("b", 2.0);
+        reg.add("a", 0.5);
+        reg.add("a", 0.25);
+        reg.end_epoch();
+        assert_eq!(reg.epochs(), 2);
+        let csv = reg.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,a,b");
+        assert_eq!(lines[1], "0,1,0", "column b missing in epoch 0 reads as 0");
+        assert_eq!(lines[2], "1,0.75,2");
+    }
+
+    #[test]
+    fn set_overwrites_and_get_reads_open_epoch() {
+        let mut reg = CounterRegistry::new();
+        reg.set("gauge", 5.0);
+        reg.set("gauge", 7.0);
+        assert_eq!(reg.get("gauge"), 7.0);
+        assert_eq!(reg.get("missing"), 0.0);
+    }
+}

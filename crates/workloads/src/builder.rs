@@ -64,11 +64,7 @@ impl KernelBuilder {
     /// Appends a fetch-and-op phase streaming `structure`.
     #[must_use]
     pub fn fetch(mut self, op: AluOp, structure: usize) -> Self {
-        self.phases.push(Phase::FetchOp {
-            op,
-            structure,
-            addressing: Addressing::Sequential,
-        });
+        self.phases.push(Phase::FetchOp { op, structure, addressing: Addressing::Sequential });
         self
     }
 
@@ -173,20 +169,16 @@ impl KernelBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::Layout;
     use crate::kernel::{OrderingMode, PimKernelGen};
+    use crate::layout::Layout;
     use orderlight::mapping::{AddressMapping, GroupMap};
     use orderlight::types::{ChannelId, MemGroupId};
     use orderlight::InstrStream;
 
     #[test]
     fn builds_the_figure4_kernel() {
-        let spec = KernelBuilder::new("vector_add")
-            .load(0)
-            .fetch(AluOp::Add, 1)
-            .store(2)
-            .build()
-            .unwrap();
+        let spec =
+            KernelBuilder::new("vector_add").load(0).fetch(AluOp::Add, 1).store(2).build().unwrap();
         assert_eq!(spec.structures, 3);
         assert_eq!(spec.phases.len(), 3);
         let reference = crate::WorkloadId::Add.spec();
@@ -233,14 +225,8 @@ mod tests {
             spec.structures,
             32,
         );
-        let mut gen = PimKernelGen::new(
-            spec,
-            layout,
-            ChannelId(0),
-            8,
-            32,
-            OrderingMode::OrderLight,
-        );
+        let mut gen =
+            PimKernelGen::new(spec, layout, ChannelId(0), 8, 32, OrderingMode::OrderLight);
         let mut n = 0;
         while gen.next_instr().is_some() {
             n += 1;

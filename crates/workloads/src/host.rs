@@ -44,12 +44,7 @@ impl HostKernelGen {
     /// # Panics
     /// Panics if the spec is invalid or `total_stripes` is zero.
     #[must_use]
-    pub fn new(
-        spec: KernelSpec,
-        layout: Layout,
-        channel: ChannelId,
-        total_stripes: u64,
-    ) -> Self {
+    pub fn new(spec: KernelSpec, layout: Layout, channel: ChannelId, total_stripes: u64) -> Self {
         HostKernelGen::with_slice(spec, layout, channel, total_stripes, 0, 1)
     }
 
@@ -225,11 +220,7 @@ mod tests {
             name: "add",
             phases: vec![
                 Phase::Load { structure: 0 },
-                Phase::FetchOp {
-                    op: AluOp::Add,
-                    structure: 1,
-                    addressing: Addressing::Sequential,
-                },
+                Phase::FetchOp { op: AluOp::Add, structure: 1, addressing: Addressing::Sequential },
                 Phase::Store { structure: 2 },
             ],
             structures: 3,
@@ -240,13 +231,7 @@ mod tests {
     }
 
     fn layout() -> Layout {
-        Layout::new(
-            AddressMapping::hbm_default(),
-            &GroupMap::default(),
-            MemGroupId(0),
-            3,
-            64,
-        )
+        Layout::new(AddressMapping::hbm_default(), &GroupMap::default(), MemGroupId(0), 3, 64)
     }
 
     fn collect(mut g: HostKernelGen) -> Vec<KernelInstr> {
@@ -265,8 +250,7 @@ mod tests {
         // 16 stores = 64.
         assert_eq!(instrs.len(), 128);
         let loads = instrs.iter().filter(|i| matches!(i, KernelInstr::Load { .. })).count();
-        let computes =
-            instrs.iter().filter(|i| matches!(i, KernelInstr::Compute { .. })).count();
+        let computes = instrs.iter().filter(|i| matches!(i, KernelInstr::Compute { .. })).count();
         let stores = instrs.iter().filter(|i| matches!(i, KernelInstr::Store { .. })).count();
         assert_eq!((loads, computes, stores), (64, 32, 32));
         assert_eq!(instrs.iter().filter(|i| i.is_ordering()).count(), 0);
@@ -279,12 +263,8 @@ mod tests {
         // Within the fetch phase (after the 16 accumulator loads), the
         // 16 operand loads all come before the 16 computes.
         let fetch_phase = &instrs[16..48];
-        assert!(fetch_phase[..16]
-            .iter()
-            .all(|i| matches!(i, KernelInstr::Load { .. })));
-        assert!(fetch_phase[16..]
-            .iter()
-            .all(|i| matches!(i, KernelInstr::Compute { .. })));
+        assert!(fetch_phase[..16].iter().all(|i| matches!(i, KernelInstr::Load { .. })));
+        assert!(fetch_phase[16..].iter().all(|i| matches!(i, KernelInstr::Compute { .. })));
     }
 
     #[test]

@@ -12,11 +12,10 @@ use crate::layout::Layout;
 use orderlight::isa::OrderingInstr;
 use orderlight::types::{ChannelId, TsSlot};
 use orderlight::{AluOp, ConfigError, InstrStream, KernelInstr, PimInstruction, PimOp};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Which ordering primitive the generated kernel uses between phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderingMode {
     /// No ordering at all — fast but functionally incorrect for
     /// multi-phase kernels (Figure 5's leftmost bar).
@@ -45,7 +44,7 @@ impl std::fmt::Display for OrderingMode {
 }
 
 /// Granularity at which a random-addressing phase re-randomises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RandomPer {
     /// Every stripe hits an independent random location (histogram bin
     /// updates).
@@ -56,7 +55,7 @@ pub enum RandomPer {
 }
 
 /// How a memory phase walks its structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Addressing {
     /// Streaming: stripe `i` of the tile maps to stripe `tile*N + i`.
     Sequential,
@@ -70,7 +69,7 @@ pub enum Addressing {
 }
 
 /// One phase of a kernel's per-tile program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Move a tile of `structure` into TS (`PIM_Load`).
     Load {
@@ -104,7 +103,7 @@ pub enum Phase {
 }
 
 /// A kernel described as a per-tile phase program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelSpec {
     /// Kernel name (Table 2).
     pub name: &'static str,
@@ -249,10 +248,7 @@ pub(crate) struct Lcg(pub u64);
 
 impl Lcg {
     pub(crate) fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -380,8 +376,7 @@ impl PimKernelGen {
     /// leaving room for `run` consecutive stripes.
     fn random_stripe(&mut self, span_rows: u64, run: u64) -> u64 {
         let spr = self.layout.mapping().stripes_per_row();
-        let span_stripes =
-            (span_rows.min(self.layout.rows_per_structure()) * spr).max(run);
+        let span_stripes = (span_rows.min(self.layout.rows_per_structure()) * spr).max(run);
         let limit = span_stripes - run + 1;
         self.rng.next() % limit
     }
@@ -494,11 +489,7 @@ mod tests {
             name: "add",
             phases: vec![
                 Phase::Load { structure: 0 },
-                Phase::FetchOp {
-                    op: AluOp::Add,
-                    structure: 1,
-                    addressing: Addressing::Sequential,
-                },
+                Phase::FetchOp { op: AluOp::Add, structure: 1, addressing: Addressing::Sequential },
                 Phase::Store { structure: 2 },
             ],
             structures: 3,
@@ -559,9 +550,7 @@ mod tests {
 
     #[test]
     fn fence_and_none_modes_change_only_ordering() {
-        let mk = |mode| {
-            PimKernelGen::new(add_spec(), layout(3, 8), ChannelId(0), 4, 8, mode)
-        };
+        let mk = |mode| PimKernelGen::new(add_spec(), layout(3, 8), ChannelId(0), 4, 8, mode);
         let ol = collect(mk(OrderingMode::OrderLight));
         let fence = collect(mk(OrderingMode::Fence));
         let none = collect(mk(OrderingMode::None));
@@ -604,14 +593,7 @@ mod tests {
     #[test]
     fn ordering_chunk_adds_mid_phase_primitives() {
         let spec = KernelSpec { ordering_chunk: Some(2), ..add_spec() };
-        let g = PimKernelGen::new(
-            spec,
-            layout(3, 8),
-            ChannelId(0),
-            8,
-            8,
-            OrderingMode::OrderLight,
-        );
+        let g = PimKernelGen::new(spec, layout(3, 8), ChannelId(0), 8, 8, OrderingMode::OrderLight);
         let instrs = collect(g);
         // One tile of 8: per memory phase, 3 extra mid-phase + 1 final.
         let ords = instrs.iter().filter(|i| i.is_ordering()).count();
@@ -620,14 +602,8 @@ mod tests {
 
     #[test]
     fn partial_last_tile() {
-        let g = PimKernelGen::new(
-            add_spec(),
-            layout(3, 10),
-            ChannelId(0),
-            4,
-            10,
-            OrderingMode::None,
-        );
+        let g =
+            PimKernelGen::new(add_spec(), layout(3, 10), ChannelId(0), 4, 10, OrderingMode::None);
         let instrs = collect(g);
         // Tiles of 4, 4, 2 -> 3 phases x 10 stripes = 30 PIM instrs.
         assert_eq!(instrs.len(), 30);
@@ -647,14 +623,8 @@ mod tests {
             ordering_chunk: None,
             final_store: None,
         };
-        let g = PimKernelGen::new(
-            spec,
-            layout(1, 4 * 64),
-            ChannelId(0),
-            32,
-            64,
-            OrderingMode::None,
-        );
+        let g =
+            PimKernelGen::new(spec, layout(1, 4 * 64), ChannelId(0), 32, 64, OrderingMode::None);
         let l = layout(1, 4 * 64);
         let limit = l.addr(ChannelId(0), 0, 4 * 64 - 1).0;
         for i in collect(g) {

@@ -74,14 +74,7 @@ impl Layout {
             "kernel data ({} structures x {structure_span} B) exceeds the bank regions",
             structures
         );
-        Layout {
-            mapping,
-            group,
-            base_offset,
-            structure_span,
-            stripes_per_structure,
-            interleave,
-        }
+        Layout { mapping, group, base_offset, structure_span, stripes_per_structure, interleave }
     }
 
     /// The memory group the data lives in.
@@ -120,10 +113,7 @@ impl Layout {
             + structure as u64 * self.structure_span
             + row * row_bytes
             + col * BUS_BYTES as u64;
-        assert!(
-            row * row_bytes < self.structure_span,
-            "stripe {stripe} beyond structure span"
-        );
+        assert!(row * row_bytes < self.structure_span, "stripe {stripe} beyond structure span");
         self.mapping.compose(channel, offset)
     }
 
@@ -185,13 +175,8 @@ mod tests {
 
     #[test]
     fn group1_data_lands_in_group1_banks() {
-        let l = Layout::new(
-            AddressMapping::hbm_default(),
-            &GroupMap::default(),
-            MemGroupId(1),
-            1,
-            64,
-        );
+        let l =
+            Layout::new(AddressMapping::hbm_default(), &GroupMap::default(), MemGroupId(1), 1, 64);
         let m = l.mapping().clone();
         let loc = m.decode(l.addr(ChannelId(0), 0, 0));
         assert_eq!(loc.bank, BankId(8));
@@ -208,9 +193,8 @@ mod tests {
             4,
         );
         let m = l.mapping().clone();
-        let banks: Vec<u8> = (0..4)
-            .map(|r| m.decode(l.addr(ChannelId(0), 0, r * 64)).bank.0)
-            .collect();
+        let banks: Vec<u8> =
+            (0..4).map(|r| m.decode(l.addr(ChannelId(0), 0, r * 64)).bank.0).collect();
         assert_eq!(banks, vec![0, 1, 2, 3], "consecutive rows rotate across banks");
         // Within one row the bank is stable.
         assert_eq!(m.decode(l.addr(ChannelId(0), 0, 1)).bank.0, 0);

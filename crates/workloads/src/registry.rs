@@ -28,10 +28,9 @@ use crate::{data, verify::GoldenInterp};
 use orderlight::mapping::{AddressMapping, GroupMap};
 use orderlight::types::{Addr, ChannelId, MemGroupId, Stripe};
 use orderlight::AluOp;
-use serde::{Deserialize, Serialize};
 
 /// Which benchmark suite a workload belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// The stream benchmark (paper Section 7.1).
     Stream,
@@ -40,7 +39,7 @@ pub enum Suite {
 }
 
 /// Table 2 metadata for a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadMeta {
     /// Kernel name as printed in Table 2.
     pub name: &'static str,
@@ -55,7 +54,7 @@ pub struct WorkloadMeta {
 }
 
 /// The twelve evaluated workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadId {
     /// `a[i] = scalar * a[i]`.
     Scale,
@@ -137,9 +136,7 @@ impl WorkloadId {
             WorkloadId::Daxpy => m("Daxpy", "b[i] = b[i] + scalar*a[i]", "2:2", true, Stream),
             WorkloadId::Triad => m("Triad", "c[i] = a[i] + scalar*b[i]", "2:3", true, Stream),
             WorkloadId::Add => m("Add", "c[i] = a[i] + b[i]", "1:3", true, Stream),
-            WorkloadId::BnFwd => {
-                m("BN_Fwd", "Batch Normalization Forward Phase", "7:3", true, App)
-            }
+            WorkloadId::BnFwd => m("BN_Fwd", "Batch Normalization Forward Phase", "7:3", true, App),
             WorkloadId::BnBwd => {
                 m("BN_Bwd", "Batch Normalization Backward Phase", "14:6", true, App)
             }
@@ -612,14 +609,7 @@ mod tests {
     }
 
     fn instance(id: WorkloadId, mode: OrderingMode) -> WorkloadInstance {
-        WorkloadInstance::new(
-            id,
-            AddressMapping::hbm_default(),
-            &GroupMap::default(),
-            8,
-            64,
-            mode,
-        )
+        WorkloadInstance::new(id, AddressMapping::hbm_default(), &GroupMap::default(), 8, 64, mode)
     }
 
     #[test]
@@ -627,10 +617,7 @@ mod tests {
         for id in WorkloadId::ALL {
             let inst = instance(id, OrderingMode::OrderLight);
             let golden = inst.golden_pim(ChannelId(0));
-            assert!(
-                !golden.written().is_empty(),
-                "{id}: kernel must write observable output"
-            );
+            assert!(!golden.written().is_empty(), "{id}: kernel must write observable output");
         }
     }
 

@@ -1,11 +1,14 @@
-//! Property-based tests of the workload generators: determinism, bounds
+//! Randomized tests of the workload generators: determinism, bounds
 //! and structural invariants for every kernel at random design points.
+//!
+//! Design points come from the in-tree deterministic PRNG
+//! ([`orderlight::rng::Rng`]) so every run exercises the same cases.
 
 use orderlight::mapping::{AddressMapping, GroupMap};
+use orderlight::rng::Rng;
 use orderlight::types::ChannelId;
 use orderlight::{InstrStream, KernelInstr};
 use orderlight_workloads::{OrderingMode, WorkloadId, WorkloadInstance};
-use proptest::prelude::*;
 
 fn collect(stream: &mut dyn InstrStream) -> Vec<KernelInstr> {
     let mut v = Vec::new();
@@ -15,24 +18,20 @@ fn collect(stream: &mut dyn InstrStream) -> Vec<KernelInstr> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// PIM streams are deterministic, stay on their channel, keep TS
-    /// slots inside the tile, and the first PIM instruction of every
-    /// ordering-separated phase group targets a valid address of the
-    /// instance's layout.
-    #[test]
-    fn pim_streams_are_well_formed(
-        wl_idx in 0usize..12,
-        ts_idx in 0usize..4,
-        stripes in 16u64..200,
-        ch in 0u8..16,
-        mode_idx in 0usize..3,
-    ) {
-        let id = WorkloadId::ALL[wl_idx];
-        let ts = [4u64, 8, 16, 32][ts_idx];
-        let mode = [OrderingMode::None, OrderingMode::Fence, OrderingMode::OrderLight][mode_idx];
+/// PIM streams are deterministic, stay on their channel, keep TS slots
+/// inside the tile, and the first PIM instruction of every
+/// ordering-separated phase group targets a valid address of the
+/// instance's layout.
+#[test]
+fn pim_streams_are_well_formed() {
+    let mut rng = Rng::new(0x31f0);
+    for _ in 0..48 {
+        let id = WorkloadId::ALL[rng.gen_index(WorkloadId::ALL.len())];
+        let ts = [4u64, 8, 16, 32][rng.gen_index(4)];
+        let mode =
+            [OrderingMode::None, OrderingMode::Fence, OrderingMode::OrderLight][rng.gen_index(3)];
+        let stripes = 16 + rng.gen_range(184);
+        let ch = rng.gen_range(16) as u8;
         let inst = WorkloadInstance::new(
             id,
             AddressMapping::hbm_default(),
@@ -43,7 +42,7 @@ proptest! {
         );
         let a = collect(&mut inst.pim_stream(ChannelId(ch)));
         let b = collect(&mut inst.pim_stream(ChannelId(ch)));
-        prop_assert_eq!(&a, &b, "generator must be deterministic");
+        assert_eq!(&a, &b, "generator must be deterministic");
 
         let mapping = inst.layout().mapping().clone();
         let tile = id.spec().tile_stripes(ts);
@@ -52,33 +51,30 @@ proptest! {
             match i {
                 KernelInstr::Pim(p) => {
                     pim_count += 1;
-                    prop_assert_eq!(mapping.channel_of(p.addr), ChannelId(ch));
-                    prop_assert!(
-                        u64::from(p.slot.0) < tile,
-                        "slot {} outside tile of {tile}",
-                        p.slot.0
-                    );
+                    assert_eq!(mapping.channel_of(p.addr), ChannelId(ch));
+                    assert!(u64::from(p.slot.0) < tile, "slot {} outside tile of {tile}", p.slot.0);
                 }
                 KernelInstr::Ordering(_) => {
-                    prop_assert!(mode != OrderingMode::None, "None mode emits no primitives");
+                    assert!(mode != OrderingMode::None, "None mode emits no primitives");
                 }
-                other => prop_assert!(false, "PIM stream leaked {other:?}"),
+                other => panic!("PIM stream leaked {other:?}"),
             }
         }
         // Every memory phase touches `stripes` elements, so the PIM
         // instruction count scales at least linearly with the job.
-        prop_assert!(pim_count >= stripes, "{id}: only {pim_count} instrs for {stripes} stripes");
+        assert!(pim_count >= stripes, "{id}: only {pim_count} instrs for {stripes} stripes");
     }
+}
 
-    /// Host streams are deterministic and contain no ordering
-    /// primitives; cooperating slices partition the tiles exactly.
-    #[test]
-    fn host_slices_partition_the_work(
-        wl_idx in 0usize..12,
-        stripes in 32u64..200,
-        slices in 1u64..5,
-    ) {
-        let id = WorkloadId::ALL[wl_idx];
+/// Host streams are deterministic and contain no ordering primitives;
+/// cooperating slices partition the tiles exactly.
+#[test]
+fn host_slices_partition_the_work() {
+    let mut rng = Rng::new(0x31f1);
+    for _ in 0..32 {
+        let id = WorkloadId::ALL[rng.gen_index(WorkloadId::ALL.len())];
+        let stripes = 32 + rng.gen_range(168);
+        let slices = 1 + rng.gen_range(4);
         let inst = WorkloadInstance::with_placement(
             id,
             AddressMapping::hbm_default(),
@@ -92,9 +88,8 @@ proptest! {
         let mut union_loads = 0usize;
         for s in 0..slices {
             let instrs = collect(&mut inst.host_stream_slice(ChannelId(0), s));
-            prop_assert!(instrs.iter().all(|i| !i.is_ordering()));
-            union_loads +=
-                instrs.iter().filter(|i| matches!(i, KernelInstr::Load { .. })).count();
+            assert!(instrs.iter().all(|i| !i.is_ordering()));
+            union_loads += instrs.iter().filter(|i| matches!(i, KernelInstr::Load { .. })).count();
         }
         // The union of the slices covers the same loads as a single
         // full stream (the final store is emitted by slice 0 only and
@@ -111,18 +106,21 @@ proptest! {
             1,
         );
         let single = collect(&mut full_inst.host_stream(ChannelId(0)));
-        let single_loads =
-            single.iter().filter(|i| matches!(i, KernelInstr::Load { .. })).count();
-        prop_assert_eq!(union_loads, single_loads);
+        let single_loads = single.iter().filter(|i| matches!(i, KernelInstr::Load { .. })).count();
+        assert_eq!(union_loads, single_loads);
         // And slice 0 of N behaves like a prefix-sampled single stream.
-        prop_assert!(full.len() <= single.len());
+        assert!(full.len() <= single.len());
     }
+}
 
-    /// The golden interpreter is idempotent: replaying the same streams
-    /// over the same inputs yields the same memory image.
-    #[test]
-    fn golden_is_reproducible(wl_idx in 0usize..12, stripes in 16u64..128) {
-        let id = WorkloadId::ALL[wl_idx];
+/// The golden interpreter is idempotent: replaying the same streams
+/// over the same inputs yields the same memory image.
+#[test]
+fn golden_is_reproducible() {
+    let mut rng = Rng::new(0x31f2);
+    for _ in 0..24 {
+        let id = WorkloadId::ALL[rng.gen_index(WorkloadId::ALL.len())];
+        let stripes = 16 + rng.gen_range(112);
         let inst = WorkloadInstance::new(
             id,
             AddressMapping::hbm_default(),
@@ -133,13 +131,13 @@ proptest! {
         );
         let a = inst.golden_pim(ChannelId(2));
         let b = inst.golden_pim(ChannelId(2));
-        prop_assert_eq!(a.written(), b.written());
+        assert_eq!(a.written(), b.written());
         for addr in a.written() {
-            prop_assert_eq!(
+            assert_eq!(
                 a.read(orderlight::types::Addr(*addr)),
                 b.read(orderlight::types::Addr(*addr))
             );
         }
-        prop_assert!(!a.written().is_empty());
+        assert!(!a.written().is_empty());
     }
 }

@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .exec(AluOp::AddImm(11), 1) // += beta
         .store(1) // back into y
         .build()?;
-    println!("custom kernel '{}': {} phases over {} structures", spec.name, spec.phases.len(), spec.structures);
+    println!(
+        "custom kernel '{}': {} phases over {} structures",
+        spec.name,
+        spec.phases.len(),
+        spec.structures
+    );
     let (c, m) = spec.ops_per_stripe();
     println!("structural compute:memory ratio {c}:{m}\n");
 

@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  128 B probes at pseudo-random candidate locations; 3:1 compute:memory\n");
     let mut prim_per_instr = Vec::new();
     for ts in TsSize::ALL {
-        let fence = run_point(WorkloadId::GenFil, ts, ExecMode::Pim(OrderingMode::Fence), 16, data)?;
+        let fence =
+            run_point(WorkloadId::GenFil, ts, ExecMode::Pim(OrderingMode::Fence), 16, data)?;
         let ol =
             run_point(WorkloadId::GenFil, ts, ExecMode::Pim(OrderingMode::OrderLight), 16, data)?;
         assert!(fence.stats.is_correct() && ol.stats.is_correct());

@@ -3,6 +3,7 @@
 //! ```text
 //! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight]
 //!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
+//! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight list
 //! orderlight taxonomy
 //! ```
@@ -12,25 +13,37 @@
 //! ```text
 //! orderlight run --workload Add --mode orderlight --ts 8
 //! orderlight run --workload KMeans --mode fence --ts 2 --data-kb 512
+//! orderlight trace Add --mode fence --data-kb 16 --out /tmp/add_fence
 //! ```
+//!
+//! `trace` runs the workload with a recording sink attached and writes
+//! `<out>.trace.json` (Chrome trace-event JSON — load it at
+//! <https://ui.perfetto.dev>), `<out>.counters.csv` (epoch-segmented
+//! counters) and a text summary with latency histograms to stdout.
 
 use orderlight_suite::pim::TsSize;
 use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
-use orderlight_suite::sim::experiments::{apply_sm_policy, run_experiment};
+use orderlight_suite::sim::experiments::{apply_sm_policy, run_experiment, run_experiment_traced};
+use orderlight_suite::sim::report::bar_chart;
+use orderlight_suite::sim::RunStats;
+use orderlight_suite::trace::{
+    ChromeTraceBuilder, ClockDomains, CounterRegistry, DramCmdKind, EventCategory, Histogram,
+    RingSink, SchedSide, TraceEvent,
+};
 use orderlight_suite::workloads::{OrderingMode, WorkloadId};
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight list\n  orderlight taxonomy"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight list\n  orderlight taxonomy"
     );
     ExitCode::from(2)
 }
 
 fn parse_workload(name: &str) -> Option<WorkloadId> {
-    WorkloadId::ALL
-        .into_iter()
-        .find(|w| w.meta().name.eq_ignore_ascii_case(name))
+    WorkloadId::ALL.into_iter().find(|w| w.meta().name.eq_ignore_ascii_case(name))
 }
 
 fn parse_mode(name: &str) -> Option<ExecMode> {
@@ -54,14 +67,77 @@ fn parse_ts(denom: &str) -> Option<TsSize> {
     }
 }
 
+/// The experiment knobs shared by `run` and `trace`.
+struct RunOpts {
+    workload: WorkloadId,
+    mode: ExecMode,
+    ts: TsSize,
+    bmf: u32,
+    data_kb: u64,
+    credits: u32,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            workload: WorkloadId::Add,
+            mode: ExecMode::Pim(OrderingMode::OrderLight),
+            ts: TsSize::Eighth,
+            bmf: 16,
+            data_kb: 256,
+            credits: 32,
+        }
+    }
+}
+
+impl RunOpts {
+    fn experiment(&self) -> ExperimentConfig {
+        let mut exp = ExperimentConfig::new(self.workload, self.mode);
+        exp.ts_size = self.ts;
+        exp.bmf = self.bmf;
+        exp.data_bytes_per_channel = self.data_kb * 1024;
+        exp.seq_credits = self.credits;
+        exp
+    }
+}
+
+/// Applies one common experiment flag. `Some(ok)` when the flag is
+/// recognised; `None` for flags the caller must handle itself.
+fn apply_common_flag(opts: &mut RunOpts, flag: &str, value: &str) -> Option<bool> {
+    Some(match flag {
+        "--workload" | "-w" => match parse_workload(value) {
+            Some(w) => {
+                opts.workload = w;
+                true
+            }
+            None => false,
+        },
+        "--mode" | "-m" => match parse_mode(value) {
+            Some(m) => {
+                opts.mode = m;
+                true
+            }
+            None => false,
+        },
+        "--ts" => match parse_ts(value) {
+            Some(t) => {
+                opts.ts = t;
+                true
+            }
+            None => false,
+        },
+        "--bmf" => value.parse().map(|v| opts.bmf = v).is_ok(),
+        "--data-kb" => value.parse().map(|v| opts.data_kb = v).is_ok(),
+        "--credits" => value.parse().map(|v| opts.credits = v).is_ok(),
+        _ => return None,
+    })
+}
+
 fn cmd_list() -> ExitCode {
     println!("workloads (paper Table 2):");
     for id in WorkloadId::ALL {
         let m = id.meta();
-        println!(
-            "  {:<8} {:<40} C:M {:<6} {:?}",
-            m.name, m.description, m.ratio, m.suite
-        );
+        println!("  {:<8} {:<40} C:M {:<6} {:?}", m.name, m.description, m.ratio, m.suite);
     }
     ExitCode::SUCCESS
 }
@@ -76,94 +152,65 @@ fn cmd_taxonomy() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn print_stats(stats: &RunStats) -> bool {
+    println!("  execution time        : {:.4} ms", stats.exec_time_ms);
+    println!("  core cycles           : {}", stats.core_cycles);
+    println!("  core stall cycles     : {}", stats.stall_cycles());
+    println!("  PIM command bandwidth : {:.3} GC/s", stats.command_bandwidth_gcs);
+    println!("  PIM data bandwidth    : {:.0} GB/s", stats.data_bandwidth_gbs);
+    println!(
+        "  ordering primitives   : {} ({:.3} per PIM instruction)",
+        stats.sm.fences + stats.sm.orderlights,
+        stats.primitives_per_pim_instr
+    );
+    if stats.sm.fences > 0 {
+        println!("  wait cycles per fence : {:.0}", stats.wait_cycles_per_fence());
+    }
+    if stats.is_correct() {
+        println!("  verification          : PASS ({} output stripes)", stats.verified_matches);
+        true
+    } else {
+        println!(
+            "  verification          : FAIL ({} of {} stripes wrong)",
+            stats.verified_mismatches,
+            stats.verified_matches + stats.verified_mismatches
+        );
+        false
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
-    let mut workload = WorkloadId::Add;
-    let mut mode = ExecMode::Pim(OrderingMode::OrderLight);
-    let mut ts = TsSize::Eighth;
-    let mut bmf = 16u32;
-    let mut data_kb = 256u64;
-    let mut credits = 32u32;
+    let mut opts = RunOpts::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
             eprintln!("missing value for {flag}");
             return usage();
         };
-        let ok = match flag.as_str() {
-            "--workload" | "-w" => match parse_workload(value) {
-                Some(w) => {
-                    workload = w;
-                    true
-                }
-                None => false,
-            },
-            "--mode" | "-m" => match parse_mode(value) {
-                Some(m) => {
-                    mode = m;
-                    true
-                }
-                None => false,
-            },
-            "--ts" => match parse_ts(value) {
-                Some(t) => {
-                    ts = t;
-                    true
-                }
-                None => false,
-            },
-            "--bmf" => value.parse().map(|v| bmf = v).is_ok(),
-            "--data-kb" => value.parse().map(|v| data_kb = v).is_ok(),
-            "--credits" => value.parse().map(|v| credits = v).is_ok(),
-            _ => {
+        match apply_common_flag(&mut opts, flag, value) {
+            Some(true) => {}
+            Some(false) => {
+                eprintln!("invalid value '{value}' for {flag}");
+                return usage();
+            }
+            None => {
                 eprintln!("unknown flag {flag}");
                 return usage();
             }
-        };
-        if !ok {
-            eprintln!("invalid value '{value}' for {flag}");
-            return usage();
         }
     }
 
-    let mut exp = ExperimentConfig::new(workload, mode);
-    exp.ts_size = ts;
-    exp.bmf = bmf;
-    exp.data_bytes_per_channel = data_kb * 1024;
-    exp.seq_credits = credits;
+    let mut exp = opts.experiment();
     apply_sm_policy(&mut exp);
     println!(
-        "running {workload} mode={mode} ts={ts} bmf={bmf}x data={data_kb}KiB/structure/channel ..."
+        "running {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
+        opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
     match run_experiment(exp) {
         Ok(stats) => {
-            println!("  execution time        : {:.4} ms", stats.exec_time_ms);
-            println!("  core cycles           : {}", stats.core_cycles);
-            println!("  core stall cycles     : {}", stats.stall_cycles());
-            println!("  PIM command bandwidth : {:.3} GC/s", stats.command_bandwidth_gcs);
-            println!("  PIM data bandwidth    : {:.0} GB/s", stats.data_bandwidth_gbs);
-            println!(
-                "  ordering primitives   : {} ({:.3} per PIM instruction)",
-                stats.sm.fences + stats.sm.orderlights,
-                stats.primitives_per_pim_instr
-            );
-            if stats.sm.fences > 0 {
-                println!(
-                    "  wait cycles per fence : {:.0}",
-                    stats.wait_cycles_per_fence()
-                );
-            }
-            if stats.is_correct() {
-                println!(
-                    "  verification          : PASS ({} output stripes)",
-                    stats.verified_matches
-                );
+            if print_stats(&stats) {
                 ExitCode::SUCCESS
             } else {
-                println!(
-                    "  verification          : FAIL ({} of {} stripes wrong)",
-                    stats.verified_mismatches,
-                    stats.verified_matches + stats.verified_mismatches
-                );
                 ExitCode::FAILURE
             }
         }
@@ -174,10 +221,260 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 }
 
+/// Pairs `FenceStallBegin`/`FenceStallEnd` per (warp, fence) into a
+/// wait-latency histogram (core cycles).
+fn fence_wait_histogram(events: &[TraceEvent]) -> Histogram {
+    let mut hist = Histogram::exponential(16, 16);
+    let mut begins: HashMap<(u32, u64), u64> = HashMap::new();
+    for e in events {
+        match *e {
+            TraceEvent::FenceStallBegin { cycle, warp, fence_id, .. } => {
+                begins.insert((warp, fence_id), cycle);
+            }
+            TraceEvent::FenceStallEnd { cycle, warp, fence_id, .. } => {
+                if let Some(b) = begins.remove(&(warp, fence_id)) {
+                    hist.record(cycle.saturating_sub(b));
+                }
+            }
+            _ => {}
+        }
+    }
+    hist
+}
+
+/// Host-read service latency histogram (memory cycles).
+fn host_read_histogram(events: &[TraceEvent]) -> Histogram {
+    let mut hist = Histogram::exponential(8, 14);
+    for e in events {
+        if let TraceEvent::HostReadDone { latency, .. } = *e {
+            hist.record(latency);
+        }
+    }
+    hist
+}
+
+/// Row open-residency histogram (memory cycles per activation).
+fn row_residency_histogram(events: &[TraceEvent]) -> Histogram {
+    let mut hist = Histogram::exponential(16, 14);
+    for e in events {
+        if let TraceEvent::RowInterval { open_cycles, .. } = *e {
+            hist.record(open_cycles);
+        }
+    }
+    hist
+}
+
+/// Epoch-segmented counters: the run is cut into `epochs` equal
+/// wall-clock windows and every event tallied into its window.
+fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -> CounterRegistry {
+    const NAMES: [&str; 17] = [
+        "sm.warp_issue",
+        "sm.warp_retire",
+        "sm.fence_stalls",
+        "packet.created",
+        "packet.enqueued",
+        "packet.merged",
+        "packet.fence_acks",
+        "sched.picks_rd",
+        "sched.picks_wr",
+        "sched.row_hits",
+        "dram.act",
+        "dram.pre",
+        "dram.rd",
+        "dram.wr",
+        "dram.exec",
+        "dram.row_closes",
+        "host.reads_done",
+    ];
+    let mut reg = CounterRegistry::new();
+    let end_us =
+        events.iter().map(|e| clocks.to_us(e.cycle(), e.is_core_clock())).fold(0.0f64, f64::max);
+    let window = (end_us / epochs as f64).max(f64::MIN_POSITIVE);
+    for epoch in 0..epochs {
+        for name in NAMES {
+            reg.set(name, 0.0);
+        }
+        let lo = epoch as f64 * window;
+        let hi = if epoch + 1 == epochs { f64::INFINITY } else { lo + window };
+        for e in events {
+            let us = clocks.to_us(e.cycle(), e.is_core_clock());
+            if us < lo || us >= hi {
+                continue;
+            }
+            let name = match e {
+                TraceEvent::WarpIssue { .. } => "sm.warp_issue",
+                TraceEvent::WarpRetire { .. } => "sm.warp_retire",
+                TraceEvent::FenceStallBegin { .. } => "sm.fence_stalls",
+                TraceEvent::FenceStallEnd { .. } => continue,
+                TraceEvent::PacketCreated { .. } => "packet.created",
+                TraceEvent::PacketEnqueued { .. } => "packet.enqueued",
+                TraceEvent::PacketMerged { .. } => "packet.merged",
+                TraceEvent::FenceAck { .. } => "packet.fence_acks",
+                TraceEvent::SchedDecision { side, row_hit, .. } => {
+                    if *row_hit {
+                        reg.add("sched.row_hits", 1.0);
+                    }
+                    match side {
+                        SchedSide::Read => "sched.picks_rd",
+                        SchedSide::Write => "sched.picks_wr",
+                    }
+                }
+                TraceEvent::QueueSample { .. } => continue,
+                TraceEvent::DramCmd { kind, .. } => match kind {
+                    DramCmdKind::Activate => "dram.act",
+                    DramCmdKind::Precharge => "dram.pre",
+                    DramCmdKind::Read => "dram.rd",
+                    DramCmdKind::Write => "dram.wr",
+                    DramCmdKind::Exec => "dram.exec",
+                },
+                TraceEvent::RowInterval { .. } => "dram.row_closes",
+                TraceEvent::HostReadDone { .. } => "host.reads_done",
+            };
+            reg.add(name, 1.0);
+        }
+        reg.end_epoch();
+    }
+    reg
+}
+
+fn print_histogram(title: &str, hist: &Histogram) {
+    if hist.total() == 0 {
+        return;
+    }
+    println!(
+        "\n{title} ({} samples, mean {:.1}, min {}, max {}):",
+        hist.total(),
+        hist.mean(),
+        hist.min().unwrap_or(0),
+        hist.max().unwrap_or(0)
+    );
+    let rows: Vec<(String, f64)> = hist.rows().into_iter().filter(|(_, v)| *v > 0.0).collect();
+    println!("{}", bar_chart(&rows, 40));
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut opts = RunOpts::default();
+    let mut out = "orderlight".to_string();
+    let mut capacity = 4_000_000usize;
+    // Keep the default traced run small: traces of the full-size default
+    // job are hundreds of MB of JSON.
+    opts.data_kb = 16;
+
+    let mut rest = args;
+    // Optional positional workload name first: `orderlight trace Add`.
+    if let Some(first) = rest.first() {
+        if !first.starts_with('-') {
+            match parse_workload(first) {
+                Some(w) => opts.workload = w,
+                None => {
+                    eprintln!("unknown workload '{first}'");
+                    return usage();
+                }
+            }
+            rest = &rest[1..];
+        }
+    }
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--out" | "-o" => {
+                out = value.clone();
+                true
+            }
+            "--events" => value.parse().map(|v: usize| capacity = v.max(1)).is_ok(),
+            _ => match apply_common_flag(&mut opts, flag, value) {
+                Some(ok) => ok,
+                None => {
+                    eprintln!("unknown flag {flag}");
+                    return usage();
+                }
+            },
+        };
+        if !ok {
+            eprintln!("invalid value '{value}' for {flag}");
+            return usage();
+        }
+    }
+
+    println!(
+        "tracing {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
+        opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
+    );
+    let ring = Arc::new(RingSink::new(capacity));
+    let (stats, clocks) = match run_experiment_traced(opts.experiment(), ring.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let correct = print_stats(&stats);
+    let events = ring.events();
+    println!("\ncaptured {} trace events", events.len());
+    if ring.dropped() > 0 {
+        println!(
+            "  WARNING: ring full, {} later events dropped — raise --events (current {capacity})",
+            ring.dropped()
+        );
+    }
+    let mut per_cat: Vec<(String, f64)> = Vec::new();
+    for cat in EventCategory::ALL {
+        let n = events.iter().filter(|e| e.category() == cat).count();
+        per_cat.push((cat.name().to_string(), n as f64));
+    }
+    println!("{}", bar_chart(&per_cat, 40));
+
+    let mix: Vec<(String, f64)> = [
+        DramCmdKind::Activate,
+        DramCmdKind::Precharge,
+        DramCmdKind::Read,
+        DramCmdKind::Write,
+        DramCmdKind::Exec,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let n = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DramCmd { kind: k, .. } if *k == kind))
+            .count();
+        (kind.mnemonic().to_string(), n as f64)
+    })
+    .collect();
+    println!("\nDRAM command mix:\n{}", bar_chart(&mix, 40));
+
+    print_histogram("fence wait latency [core cycles]", &fence_wait_histogram(&events));
+    print_histogram("host read latency [memory cycles]", &host_read_histogram(&events));
+    print_histogram("row open residency [memory cycles]", &row_residency_histogram(&events));
+
+    let trace_path = format!("{out}.trace.json");
+    let csv_path = format!("{out}.counters.csv");
+    let json = ChromeTraceBuilder::new(clocks).build(&events);
+    if let Err(e) = std::fs::write(&trace_path, json) {
+        eprintln!("cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let counters = build_counters(&events, &clocks, 8);
+    if let Err(e) = std::fs::write(&csv_path, counters.to_csv()) {
+        eprintln!("cannot write {csv_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {trace_path} (open at https://ui.perfetto.dev) and {csv_path}");
+    if correct {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),
         _ => usage(),

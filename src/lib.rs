@@ -18,6 +18,7 @@
 //! | [`gpu`] | `orderlight-gpu` | SMs, warps, operand collector, fence stalls |
 //! | [`workloads`] | `orderlight-workloads` | the Table 2 kernel suite + golden verification |
 //! | [`sim`] | `orderlight-sim` | full-system assembly, experiments for every figure |
+//! | [`trace`] | `orderlight-trace` | cycle-level trace events, sinks, histograms, Perfetto export |
 //!
 //! # Quickstart
 //!
@@ -45,4 +46,5 @@ pub use orderlight_memctrl as memctrl;
 pub use orderlight_noc as noc;
 pub use orderlight_pim as pim;
 pub use orderlight_sim as sim;
+pub use orderlight_trace as trace;
 pub use orderlight_workloads as workloads;

@@ -34,7 +34,8 @@ fn marker(number: u32) -> MemReq {
 #[test]
 fn ordering_survives_both_divergence_points() {
     let mapping = AddressMapping::hbm_default();
-    let cfg = McConfig { mapping: mapping.clone(), groups: GroupMap::default(), ..McConfig::default() };
+    let cfg =
+        McConfig { mapping: mapping.clone(), groups: GroupMap::default(), ..McConfig::default() };
     let mut mc = MemoryController::new(
         cfg,
         Channel::new(TimingParams::hbm_table1(), 16, 2048),
@@ -90,7 +91,8 @@ fn ordering_survives_both_divergence_points() {
 #[test]
 fn fence_probe_acks_once_through_the_pipe() {
     let mapping = AddressMapping::hbm_default();
-    let cfg = McConfig { mapping: mapping.clone(), groups: GroupMap::default(), ..McConfig::default() };
+    let cfg =
+        McConfig { mapping: mapping.clone(), groups: GroupMap::default(), ..McConfig::default() };
     let mut mc = MemoryController::new(
         cfg,
         Channel::new(TimingParams::hbm_table1(), 16, 2048),
@@ -126,10 +128,7 @@ fn fence_probe_acks_once_through_the_pipe() {
             pipe.push_response(resp, now);
         }
         while let Some(resp) = pipe.pop_response(now) {
-            if matches!(
-                resp,
-                orderlight_suite::core::MemResp::FenceAck { fence_id: 7, .. }
-            ) {
+            if matches!(resp, orderlight_suite::core::MemResp::FenceAck { fence_id: 7, .. }) {
                 acks += 1;
             }
         }

@@ -44,10 +44,7 @@ fn fig10_shape() {
                     .map(|p| p.stats.exec_time_ms)
                     .expect("point exists")
             };
-            assert!(
-                get("pim-orderlight") < get("pim-fence"),
-                "{w} {ts}: OrderLight must win"
-            );
+            assert!(get("pim-orderlight") < get("pim-fence"), "{w} {ts}: OrderLight must win");
         }
     }
 }
@@ -115,10 +112,7 @@ fn arbitration_ablation_orders_of_magnitude() {
 fn fence_scope_ablation_trades_cost_for_guarantee() {
     let a = ablation_fence_scope(DATA, TsSize::Eighth).expect("runs");
     assert!(a.dram_issue_correct, "issue-to-DRAM fence is always safe");
-    assert!(
-        a.l2_ack_wait < a.dram_issue_wait,
-        "the serialization-point fence must be cheaper"
-    );
+    assert!(a.l2_ack_wait < a.dram_issue_wait, "the serialization-point fence must be cheaper");
     assert!(a.l2_ack_ms < a.dram_issue_ms);
 }
 
@@ -159,26 +153,22 @@ fn refresh_ablation_bounded_by_trfc_over_trefi() {
     let rows = ablation_refresh(DATA).expect("runs");
     assert!(rows.iter().all(|r| r.correct), "refresh never breaks ordering");
     let slowdown = rows[1].exec_time_ms / rows[0].exec_time_ms;
-    assert!(
-        (1.0..1.15).contains(&slowdown),
-        "refresh steals at most ~tRFC/tREFI: {slowdown}"
-    );
+    assert!((1.0..1.15).contains(&slowdown), "refresh steals at most ~tRFC/tREFI: {slowdown}");
 }
 
 #[test]
 fn scheduler_ablation_scan_depth_matters_for_host() {
     let rows = ablation_scheduler(32 * 1024).expect("runs");
-    let host_ms = |label: &str| {
-        rows.iter().find(|r| r.label == label).map(|r| r.host_exec_ms).expect("row")
-    };
+    let host_ms =
+        |label: &str| rows.iter().find(|r| r.label == label).map(|r| r.host_exec_ms).expect("row");
     assert!(
         host_ms("scan_depth=1") > 1.3 * host_ms("scan_depth=16"),
         "FCFS-degenerate scheduling must hurt the host stream"
     );
     // The ordered PIM stream is insensitive.
     let pim: Vec<f64> = rows.iter().map(|r| r.pim_command_gcs).collect();
-    let spread = pim.iter().copied().fold(0.0f64, f64::max)
-        - pim.iter().copied().fold(f64::MAX, f64::min);
+    let spread =
+        pim.iter().copied().fold(0.0f64, f64::max) - pim.iter().copied().fold(f64::MAX, f64::min);
     assert!(spread < 0.2, "ordered PIM stream should be knob-insensitive: {pim:?}");
 }
 

@@ -77,7 +77,8 @@ fn gpu_baseline_is_correct_for_elementwise_kernels() {
 
 #[test]
 fn orderlight_beats_fence_beats_nothing_useful() {
-    let ol = run(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 32 * 1024);
+    let ol =
+        run(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 32 * 1024);
     let fence = run(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence), TsSize::Eighth, 32 * 1024);
     assert!(
         fence.exec_time_ms > 2.0 * ol.exec_time_ms,
@@ -104,10 +105,7 @@ fn bigger_ts_means_fewer_primitives_and_more_bandwidth() {
             stats.primitives_per_pim_instr < last_prim,
             "primitives/instruction must fall with TS"
         );
-        assert!(
-            stats.command_bandwidth_gcs > last_bw,
-            "command bandwidth must rise with TS"
-        );
+        assert!(stats.command_bandwidth_gcs > last_bw, "command bandwidth must rise with TS");
         last_prim = stats.primitives_per_pim_instr;
         last_bw = stats.command_bandwidth_gcs;
     }
@@ -131,7 +129,8 @@ fn genfil_primitive_rate_is_ts_invariant() {
 fn data_bandwidth_is_command_bandwidth_times_bmf() {
     // PIM data bandwidth reflects the product of command bandwidth and
     // the bandwidth multiplication factor (paper Section 6, metrics).
-    let stats = run(WorkloadId::Copy, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 16 * 1024);
+    let stats =
+        run(WorkloadId::Copy, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 16 * 1024);
     let dram_cmds = stats.mc.col_reads + stats.mc.col_writes;
     assert_eq!(stats.pim_data_bytes, dram_cmds * 32 * 16, "BMF=16 scaling");
 }
@@ -141,18 +140,11 @@ fn bmf_sweep_shifts_the_burden() {
     // Lower BMF means more commands for the same job: fence suffers
     // more, so the OrderLight advantage grows (paper Figure 13).
     let ratio = |bmf: u32| {
-        let mut exp = ExperimentConfig::new(
-            WorkloadId::Add,
-            ExecMode::Pim(OrderingMode::Fence),
-        );
+        let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence));
         exp.bmf = bmf;
         exp.data_bytes_per_channel = 64 * 1024;
         apply_sm_policy(&mut exp);
-        let fence = System::build(exp.clone())
-            .unwrap()
-            .run(600_000_000)
-            .unwrap()
-            .exec_time_ms;
+        let fence = System::build(exp.clone()).unwrap().run(600_000_000).unwrap().exec_time_ms;
         exp.mode = ExecMode::Pim(OrderingMode::OrderLight);
         apply_sm_policy(&mut exp);
         let ol = System::build(exp).unwrap().run(600_000_000).unwrap().exec_time_ms;
@@ -171,10 +163,7 @@ fn seqnum_baseline_is_correct_and_credit_bound() {
     // The Kim et al. sequence-number baseline verifies at every buffer
     // size, and its performance is monotone in the credit budget.
     let at = |credits: u32| {
-        let mut exp = ExperimentConfig::new(
-            WorkloadId::Add,
-            ExecMode::Pim(OrderingMode::SeqNum),
-        );
+        let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::SeqNum));
         exp.data_bytes_per_channel = 16 * 1024;
         exp.seq_credits = credits;
         apply_sm_policy(&mut exp);
@@ -190,12 +179,8 @@ fn seqnum_baseline_is_correct_and_credit_bound() {
         "small credit buffers must pay round trips: B=4 {small:.4} ms vs B=32 {large:.4} ms"
     );
     // OrderLight needs no credits and beats even the large buffer.
-    let ol = run(
-        WorkloadId::Add,
-        ExecMode::Pim(OrderingMode::OrderLight),
-        TsSize::Eighth,
-        16 * 1024,
-    );
+    let ol =
+        run(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 16 * 1024);
     assert!(ol.exec_time_ms <= large * 1.1);
     assert_eq!(ol.sm.credit_wait_cycles, 0);
 }
@@ -210,7 +195,9 @@ fn seqnum_handles_irregular_kernels() {
 
 #[test]
 fn determinism_identical_runs_identical_stats() {
-    let a = run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
-    let b = run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
+    let a =
+        run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
+    let b =
+        run(WorkloadId::Hist, ExecMode::Pim(OrderingMode::OrderLight), TsSize::Eighth, 8 * 1024);
     assert_eq!(a, b, "the simulator must be bit-deterministic");
 }

@@ -1,11 +1,16 @@
-//! Property-based tests over the core data structures and invariants:
+//! Randomized tests over the core data structures and invariants:
 //! packet codec, copy-and-merge protocol, address mapping, ALU/golden
 //! agreement, and end-to-end correctness on randomized design points.
+//!
+//! Inputs come from the in-tree deterministic PRNG
+//! ([`orderlight_suite::core::rng::Rng`]) so every run exercises the
+//! same cases.
 
 use orderlight_suite::core::fsm::{diverge, MergeFsm};
 use orderlight_suite::core::mapping::AddressMapping;
 use orderlight_suite::core::message::Marker;
 use orderlight_suite::core::packet::OrderLightPacket;
+use orderlight_suite::core::rng::Rng;
 use orderlight_suite::core::types::{Addr, ChannelId, MemGroupId, Stripe};
 use orderlight_suite::core::AluOp;
 use orderlight_suite::pim::TsSize;
@@ -13,44 +18,41 @@ use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
 use orderlight_suite::sim::experiments::apply_sm_policy;
 use orderlight_suite::sim::System;
 use orderlight_suite::workloads::{OrderingMode, WorkloadId};
-use proptest::prelude::*;
 
-proptest! {
-    /// The OrderLight packet wire format round-trips for every field
-    /// combination, including multi-group extensions.
-    #[test]
-    fn packet_roundtrip(ch in 0u8..16, g in 0u8..16, n in any::<u32>(), extra in proptest::collection::vec(0u8..16, 0..=2)) {
-        let extras: Vec<MemGroupId> = extra.into_iter().map(MemGroupId).collect();
+/// The OrderLight packet wire format round-trips for every field
+/// combination, including multi-group extensions.
+#[test]
+fn packet_roundtrip() {
+    let mut rng = Rng::new(0xc0de);
+    for _ in 0..256 {
+        let ch = rng.gen_range(16) as u8;
+        let g = rng.gen_range(16) as u8;
+        let n = rng.next_u64() as u32;
+        let extras: Vec<MemGroupId> =
+            (0..rng.gen_index(3)).map(|_| MemGroupId(rng.gen_range(16) as u8)).collect();
         let pkt = OrderLightPacket::with_groups(ChannelId(ch), MemGroupId(g), &extras, n).unwrap();
-        prop_assert_eq!(OrderLightPacket::decode(pkt.encode()).unwrap(), pkt);
+        assert_eq!(OrderLightPacket::decode(pkt.encode()).unwrap(), pkt);
     }
+}
 
-    /// Under any interleaving of copies from any number of markers, each
-    /// marker merges exactly once, and only after all of its copies
-    /// arrived.
-    #[test]
-    fn merge_fires_exactly_once_under_any_interleaving(
-        n_markers in 1usize..6,
-        paths in 2usize..5,
-        seed in any::<u64>(),
-    ) {
+/// Under any interleaving of copies from any number of markers, each
+/// marker merges exactly once, and only after all of its copies
+/// arrived.
+#[test]
+fn merge_fires_exactly_once_under_any_interleaving() {
+    let mut rng = Rng::new(0xf5a1);
+    for _ in 0..128 {
+        let n_markers = 1 + rng.gen_index(5);
+        let paths = 2 + rng.gen_index(3);
         let mut copies = Vec::new();
         for m in 0..n_markers {
-            let marker = Marker::OrderLight(OrderLightPacket::new(
-                ChannelId(0),
-                MemGroupId(0),
-                m as u32,
-            ));
+            let marker =
+                Marker::OrderLight(OrderLightPacket::new(ChannelId(0), MemGroupId(0), m as u32));
             for c in diverge(marker, paths) {
                 copies.push(c);
             }
         }
-        // Deterministic shuffle from the seed.
-        let mut s = seed;
-        for i in (1..copies.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            copies.swap(i, (s >> 33) as usize % (i + 1));
-        }
+        rng.shuffle(&mut copies);
         let mut fsm = MergeFsm::new();
         let mut merged = 0;
         for c in &copies {
@@ -58,69 +60,92 @@ proptest! {
                 merged += 1;
             }
         }
-        prop_assert_eq!(merged, n_markers);
-        prop_assert_eq!(fsm.pending(), 0);
+        assert_eq!(merged, n_markers);
+        assert_eq!(fsm.pending(), 0);
     }
+}
 
-    /// Address mapping: decode is consistent with compose/channel_of for
-    /// arbitrary addresses, and every field stays in range.
-    #[test]
-    fn mapping_decode_in_range(addr in 0u64..(1 << 40)) {
-        let m = AddressMapping::hbm_default();
+/// Address mapping: decode is consistent with compose/channel_of for
+/// arbitrary addresses, and every field stays in range.
+#[test]
+fn mapping_decode_in_range() {
+    let mut rng = Rng::new(0xadd5);
+    let m = AddressMapping::hbm_default();
+    for _ in 0..512 {
+        let addr = rng.gen_range(1 << 40);
         let loc = m.decode(Addr(addr));
-        prop_assert!(usize::from(loc.channel.0) < m.channels());
-        prop_assert!(usize::from(loc.bank.0) < m.banks());
-        prop_assert!(u64::from(loc.col) < m.stripes_per_row());
-        prop_assert_eq!(loc.channel, m.channel_of(Addr(addr)));
+        assert!(usize::from(loc.channel.0) < m.channels());
+        assert!(usize::from(loc.bank.0) < m.banks());
+        assert!(u64::from(loc.col) < m.stripes_per_row());
+        assert_eq!(loc.channel, m.channel_of(Addr(addr)));
         // compose(channel_offset) restores the address.
         let back = m.compose(loc.channel, m.channel_offset(Addr(addr)));
-        prop_assert_eq!(back, Addr(addr));
+        assert_eq!(back, Addr(addr));
     }
+}
 
-    /// Stripe-wide ALU application equals lane-by-lane application for
-    /// every op and operand pattern (the PIM unit, host SIMD and golden
-    /// model all rely on this).
-    #[test]
-    fn alu_stripe_equals_lanes(acc in any::<[u32; 8]>(), mem in any::<[u32; 8]>(), op_idx in 0usize..11, imm in any::<u32>()) {
+/// Stripe-wide ALU application equals lane-by-lane application for
+/// every op and operand pattern (the PIM unit, host SIMD and golden
+/// model all rely on this).
+#[test]
+fn alu_stripe_equals_lanes() {
+    let mut rng = Rng::new(0xa1fa);
+    for _ in 0..256 {
+        let mut acc = [0u32; 8];
+        let mut mem = [0u32; 8];
+        for i in 0..8 {
+            acc[i] = rng.next_u64() as u32;
+            mem[i] = rng.next_u64() as u32;
+        }
+        let imm = rng.next_u64() as u32;
         let op = [
-            AluOp::Mov, AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Min, AluOp::Max,
-            AluOp::Xor, AluOp::AxpyImm(imm), AluOp::ScaleImm(imm), AluOp::AddImm(imm),
+            AluOp::Mov,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Min,
+            AluOp::Max,
+            AluOp::Xor,
+            AluOp::AxpyImm(imm),
+            AluOp::ScaleImm(imm),
+            AluOp::AddImm(imm),
             AluOp::Hamming,
-        ][op_idx];
+        ][rng.gen_index(11)];
         let out = op.apply(Stripe(acc), Stripe(mem));
         for i in 0..8 {
-            prop_assert_eq!(out.0[i], op.apply_lane(acc[i], mem[i]));
+            assert_eq!(out.0[i], op.apply_lane(acc[i], mem[i]));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
-
-    /// End-to-end: a randomized design point (workload, TS size, job
-    /// size, ordering primitive) always produces bit-correct results and
-    /// consistent counters.
-    #[test]
-    fn randomized_design_points_verify(
-        wl_idx in 0usize..12,
-        ts_idx in 0usize..4,
-        kb in 2u64..12,
-        use_fence in any::<bool>(),
-    ) {
-        let workload = WorkloadId::ALL[wl_idx];
-        let ts = TsSize::ALL[ts_idx];
-        let mode = if use_fence { OrderingMode::Fence } else { OrderingMode::OrderLight };
+/// End-to-end: a randomized design point (workload, TS size, job size,
+/// ordering primitive) always produces bit-correct results and
+/// consistent counters.
+#[test]
+fn randomized_design_points_verify() {
+    let mut rng = Rng::new(0xe2ee);
+    for _ in 0..6 {
+        let workload = WorkloadId::ALL[rng.gen_index(WorkloadId::ALL.len())];
+        let ts = TsSize::ALL[rng.gen_index(TsSize::ALL.len())];
+        let mode = if rng.gen_bool(1, 2) { OrderingMode::Fence } else { OrderingMode::OrderLight };
+        let kb = 2 + rng.gen_range(10);
         let mut exp = ExperimentConfig::new(workload, ExecMode::Pim(mode));
         exp.ts_size = ts;
         exp.data_bytes_per_channel = kb * 1024;
         apply_sm_policy(&mut exp);
         let mut sys = System::build(exp).expect("valid");
         let stats = sys.run(400_000_000).expect("drains");
-        prop_assert!(stats.is_correct(), "{} {} {}: {} mismatches",
-            workload, ts, mode, stats.verified_mismatches);
-        prop_assert_eq!(stats.mc.sanity_violations, 0);
+        assert!(
+            stats.is_correct(),
+            "{} {} {}: {} mismatches",
+            workload,
+            ts,
+            mode,
+            stats.verified_mismatches
+        );
+        assert_eq!(stats.mc.sanity_violations, 0);
         // Conservation: every PIM instruction issued by the SMs is
         // eventually issued by a controller.
-        prop_assert_eq!(stats.sm.pim_issued, stats.mc.pim_commands);
+        assert_eq!(stats.sm.pim_issued, stats.mc.pim_commands);
     }
 }
