@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, build and the tier-1 test suite.
-# Everything resolves offline — the workspace has no external
-# dependencies (the criterion bench crate is excluded; build it
-# separately on a machine with registry access).
+# Local CI gate: formatting, lints, build, the tier-1 test suite and
+# the parallel-sweep regression benchmark. Everything resolves offline
+# — the workspace has no external dependencies (the criterion bench
+# crate is excluded; build it separately on a machine with registry
+# access).
+#
+# Tiers:
+#   ./ci.sh                     tier 1 — fast suite (slow full-figure
+#                               sweeps are #[ignore]d)
+#   ORDERLIGHT_TIER2=1 ./ci.sh  also runs the ignored tier-2 tests
+#                               (full Figure 10/12/13 sweeps and the
+#                               large parallel-equivalence sweeps)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,7 +23,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test (workspace)"
+echo "==> cargo test (workspace, tier 1)"
 cargo test --workspace -q
+
+if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
+    echo "==> cargo test (tier 2: ignored full-figure sweeps)"
+    cargo test --workspace -q -- --ignored
+fi
+
+# Serial-vs-parallel regression benchmark: re-runs every figure sweep
+# both ways in release mode and fails on any bit-level mismatch. The
+# JSON also records wall-clock, points/sec and speedup for the host.
+echo "==> orderlight bench --quick (parallel-sweep regression)"
+./target/release/orderlight bench --quick --out BENCH_sweep.json
+echo "    wrote BENCH_sweep.json"
 
 echo "CI green."

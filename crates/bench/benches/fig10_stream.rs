@@ -18,14 +18,9 @@ fn bench(c: &mut Criterion) {
         {
             g.bench_function(format!("{wl}/{label}"), |b| {
                 b.iter(|| {
-                    let p = run_point(
-                        wl,
-                        TsSize::Eighth,
-                        ExecMode::Pim(mode),
-                        16,
-                        BENCH_DATA_BYTES,
-                    )
-                    .expect("run");
+                    let p =
+                        run_point(wl, TsSize::Eighth, ExecMode::Pim(mode), 16, BENCH_DATA_BYTES)
+                            .expect("run");
                     black_box(p.stats.command_bandwidth_gcs)
                 });
             });

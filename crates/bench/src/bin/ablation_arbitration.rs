@@ -7,12 +7,14 @@
 //! is locked out of memory for the entire PIM computation.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::ablation_arbitration;
+use orderlight_sim::experiments::ablation_arbitration_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!("Arbitration-granularity ablation, {} KiB/structure/channel\n", data / 1024);
-    let a = ablation_arbitration(data).expect("ablation runs");
+    let a = ablation_arbitration_jobs(data, jobs).expect("ablation runs");
     println!(
         "  fine-grained arbitration : mean host read service latency = {:.0} memory cycles",
         a.fga_mean_host_latency
@@ -22,9 +24,7 @@ fn main() {
         a.cga_host_wait_cycles
     );
     let factor = a.cga_host_wait_cycles as f64 / a.fga_mean_host_latency.max(1.0);
-    println!(
-        "\n  a host access issued at PIM-kernel launch waits ~{factor:.0}x longer under CGA"
-    );
+    println!("\n  a host access issued at PIM-kernel launch waits ~{factor:.0}x longer under CGA");
     println!("  (CGO/CGA designs render system memory inaccessible to the host during PIM");
     println!("  computation — paper Section 3.2, Figure 2a)");
 }

@@ -6,12 +6,14 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_pim::TsSize;
-use orderlight_sim::experiments::ablation_cpu_host;
+use orderlight_sim::experiments::ablation_cpu_host_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!("OoO-CPU host, Add kernel, TS=1/8 RB, {} KiB/structure/channel\n", data / 1024);
-    let rows = ablation_cpu_host(data, TsSize::Eighth).expect("study runs");
+    let rows = ablation_cpu_host_jobs(data, TsSize::Eighth, jobs).expect("study runs");
     for r in &rows {
         println!(
             "  {:<16}: {:>8.4} ms | {:>4.0} wait cycles/fence | {}",

@@ -6,13 +6,15 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_pim::TsSize;
-use orderlight_sim::experiments::ablation_fence_scope;
+use orderlight_sim::experiments::ablation_fence_scope_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!("Fence-scope ablation, Add kernel, {} KiB/structure/channel\n", data / 1024);
     for ts in TsSize::ALL {
-        let a = ablation_fence_scope(data, ts).expect("ablation runs");
+        let a = ablation_fence_scope_jobs(data, ts, jobs).expect("ablation runs");
         println!(
             "  TS {:>7}: issue-to-DRAM fence {:>7.4} ms ({:>4.0} cyc/fence, {}) | L2-ack fence {:>7.4} ms ({:>4.0} cyc/fence, {})",
             ts.to_string(),

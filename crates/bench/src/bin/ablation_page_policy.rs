@@ -3,13 +3,15 @@
 //! streaming and an irregular kernel.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::ablation_page_policy;
+use orderlight_sim::experiments::ablation_page_policy_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!("Page-policy ablation, OrderLight, {} KiB/structure/channel\n", data / 1024);
-    let rows = ablation_page_policy(data).expect("ablation runs");
+    let rows = ablation_page_policy_jobs(data, jobs).expect("ablation runs");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| vec![r.label.clone(), f3(r.exec_time_ms), r.activates.to_string()])

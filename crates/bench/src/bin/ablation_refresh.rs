@@ -4,12 +4,17 @@
 //! versus HBM2-like tREFI = 3.9 us / tRFC = 350 ns.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::ablation_refresh;
+use orderlight_sim::experiments::ablation_refresh_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
     let data = report_data_bytes();
-    println!("DRAM refresh ablation, Add kernel, OrderLight, {} KiB/structure/channel\n", data / 1024);
-    let rows = ablation_refresh(data).expect("ablation runs");
+    let jobs = jobs_from_process_args();
+    println!(
+        "DRAM refresh ablation, Add kernel, OrderLight, {} KiB/structure/channel\n",
+        data / 1024
+    );
+    let rows = ablation_refresh_jobs(data, jobs).expect("ablation runs");
     for r in &rows {
         println!(
             "  {:<20}: {:>8.4} ms | {:>6.3} GC/s | {}",

@@ -3,13 +3,18 @@
 //! capacity) swept under OrderLight on the Add kernel.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::ablation_scheduler;
+use orderlight_sim::experiments::ablation_scheduler_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
     let data = report_data_bytes();
-    println!("Controller scheduler knobs, Add kernel, OrderLight, {} KiB/structure/channel\n", data / 1024);
-    let rows = ablation_scheduler(data).expect("ablation runs");
+    let jobs = jobs_from_process_args();
+    println!(
+        "Controller scheduler knobs, Add kernel, OrderLight, {} KiB/structure/channel\n",
+        data / 1024
+    );
+    let rows = ablation_scheduler_jobs(data, jobs).expect("ablation runs");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -23,10 +28,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(
-            &["knob", "PIM OL cmd GC/s", "host exec ms", "host row activations"],
-            &table
-        )
+        format_table(&["knob", "PIM OL cmd GC/s", "host exec ms", "host row activations"], &table)
     );
     println!("\nThe ordered PIM stream is knob-insensitive — OrderLight barriers already");
     println!("pin its schedule. The host stream needs the FR-FCFS scan window for bank");

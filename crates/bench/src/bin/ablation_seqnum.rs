@@ -9,16 +9,18 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_pim::TsSize;
-use orderlight_sim::experiments::ablation_seqnum;
+use orderlight_sim::experiments::ablation_seqnum_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!(
         "Sequence-number (Kim et al.) vs OrderLight, Add kernel, TS=1/8 RB, {} KiB/structure/channel\n",
         data / 1024
     );
-    let rows = ablation_seqnum(data, TsSize::Eighth).expect("ablation runs");
+    let rows = ablation_seqnum_jobs(data, TsSize::Eighth, jobs).expect("ablation runs");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -33,10 +35,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(
-            &["config", "exec ms", "cmd GC/s", "credit-wait cycles", "correct"],
-            &table
-        )
+        format_table(&["config", "exec ms", "cmd GC/s", "credit-wait cycles", "correct"], &table)
     );
     println!("\nSmall controller buffers make the core wait for credit round trips");
     println!("(the latency cost Section 8.1 predicts); matching OrderLight requires");

@@ -5,17 +5,26 @@
 //! cycles per fence instruction.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::fig05;
+use orderlight_sim::experiments::fig05_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{bar_chart, f3, format_table};
 
 fn main() {
     let data = report_data_bytes();
-    println!("Figure 5 — fence overhead, vector_add (Add), BMF=16, {} KiB/structure/channel\n", data / 1024);
-    let rows = fig05(data).expect("figure 5 sweep");
+    let jobs = jobs_from_process_args();
+    println!(
+        "Figure 5 — fence overhead, vector_add (Add), BMF=16, {} KiB/structure/channel\n",
+        data / 1024
+    );
+    let rows = fig05_jobs(data, jobs).expect("figure 5 sweep");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|p| {
-            let label = if p.mode == "pim-none" { "No Fence".to_string() } else { format!("Fence {}", p.ts) };
+            let label = if p.mode == "pim-none" {
+                "No Fence".to_string()
+            } else {
+                format!("Fence {}", p.ts)
+            };
             vec![
                 label,
                 f3(p.stats.exec_time_ms),
@@ -30,10 +39,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(
-            &["config", "exec time (ms)", "wait cycles / fence", "correct"],
-            &table
-        )
+        format_table(&["config", "exec time (ms)", "wait cycles / fence", "correct"], &table)
     );
     let bars: Vec<(String, f64)> = rows
         .iter()

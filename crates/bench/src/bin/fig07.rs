@@ -78,13 +78,9 @@ fn main() {
     let (mut m, mapping) = mc();
     let mut now = 0;
     let mut stall_note = Vec::new();
-    for (p, (op, row)) in [
-        (PimOp::Load, 0u64),
-        (PimOp::Compute(AluOp::Add), 1),
-        (PimOp::Store, 2),
-    ]
-    .into_iter()
-    .enumerate()
+    for (p, (op, row)) in [(PimOp::Load, 0u64), (PimOp::Compute(AluOp::Add), 1), (PimOp::Store, 2)]
+        .into_iter()
+        .enumerate()
     {
         for req in phase(&mapping, op, row, p as u64 * N) {
             m.push(req);
@@ -94,10 +90,7 @@ fn main() {
         stall_note.push(now - start);
     }
     print_trace(&m);
-    println!(
-        "    core idle between phases (memory cycles): {:?}\n",
-        stall_note
-    );
+    println!("    core idle between phases (memory cycles): {:?}\n", stall_note);
 
     println!("(b) OrderLight: the core streams the whole tile, packets between phases;");
     println!("    the controller enforces each boundary locally — the core never waits\n");

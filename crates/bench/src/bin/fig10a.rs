@@ -3,17 +3,19 @@
 //! across TS sizes (BMF = 16).
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::fig10;
+use orderlight_sim::experiments::fig10_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 use std::collections::BTreeMap;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!(
         "Figure 10a — stream benchmark: PIM command & data bandwidth, BMF=16, {} KiB/structure/channel\n",
         data / 1024
     );
-    let rows = fig10(data).expect("figure 10 sweep");
+    let rows = fig10_jobs(data, jobs).expect("figure 10 sweep");
     // (workload, ts) -> (fence, orderlight)
     let mut cells: BTreeMap<(String, String), [Option<f64>; 4]> = BTreeMap::new();
     for p in &rows {
@@ -40,8 +42,12 @@ fn main() {
     for wl in order {
         for ts in ts_order {
             let Some(c) = cells.get(&(wl.to_string(), ts.to_string())) else { continue };
-            let (f_cmd, o_cmd, f_dat, o_dat) =
-                (c[0].unwrap_or(0.0), c[1].unwrap_or(0.0), c[2].unwrap_or(0.0), c[3].unwrap_or(0.0));
+            let (f_cmd, o_cmd, f_dat, o_dat) = (
+                c[0].unwrap_or(0.0),
+                c[1].unwrap_or(0.0),
+                c[2].unwrap_or(0.0),
+                c[3].unwrap_or(0.0),
+            );
             if f_cmd > 0.0 {
                 ratios.push(o_cmd / f_cmd);
             }
@@ -64,5 +70,7 @@ fn main() {
     );
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("\nmean OrderLight/fence command-bandwidth improvement: {avg:.1}x (paper: ~2.6x for Add, similar across kernels)");
-    println!("peak external data bandwidth of the module: 435 GB/s (paper quotes 405 GB/s achievable)");
+    println!(
+        "peak external data bandwidth of the module: 435 GB/s (paper quotes 405 GB/s achievable)"
+    );
 }

@@ -2,7 +2,8 @@
 //! for the stream benchmark — GPU baseline vs fence vs OrderLight.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::fig10;
+use orderlight_sim::experiments::fig10_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
 
@@ -11,11 +12,12 @@ type Cells = BTreeMap<(String, String), [Option<(f64, u64)>; 2]>;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!(
         "Figure 10b — stream benchmark: execution time and core stall cycles, BMF=16, {} KiB/structure/channel\n",
         data / 1024
     );
-    let rows = fig10(data).expect("figure 10 sweep");
+    let rows = fig10_jobs(data, jobs).expect("figure 10 sweep");
     let mut gpu: BTreeMap<String, f64> = BTreeMap::new();
     let mut cells: Cells = BTreeMap::new();
     for p in &rows {

@@ -9,14 +9,8 @@ fn main() {
     let t = TimingParams::hbm_table1();
     let f = fig11();
     println!("Figure 11 — DRAM timing for one 8-write row window (Table 1 timing)\n");
-    println!(
-        "  open row (tRCDW)            : {:>3} cycles",
-        t.rcd_wr
-    );
-    println!(
-        "  7 x column-write gaps (tCCD): {:>3} cycles",
-        7 * t.ccdl
-    );
+    println!("  open row (tRCDW)            : {:>3} cycles", t.rcd_wr);
+    println!("  7 x column-write gaps (tCCD): {:>3} cycles", 7 * t.ccdl);
     println!("  write recovery (tWP)        : {:>3} cycles", t.wtp);
     println!("  precharge (tRP)             : {:>3} cycles", t.rp);
     println!("  ---------------------------------------");

@@ -3,7 +3,8 @@
 //! plus the ordering-primitives-per-PIM-instruction line.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::fig12;
+use orderlight_sim::experiments::fig12_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{bar_chart, f3, format_table, speedup};
 use std::collections::BTreeMap;
 
@@ -12,11 +13,12 @@ type Cells = BTreeMap<(String, String), [Option<(f64, f64)>; 2]>;
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!(
         "Figure 12 — application kernels: fence vs OrderLight, BMF=16, {} KiB/structure/channel\n",
         data / 1024
     );
-    let rows = fig12(data).expect("figure 12 sweep");
+    let rows = fig12_jobs(data, jobs).expect("figure 12 sweep");
     let mut cells: Cells = BTreeMap::new();
     for p in &rows {
         let i = usize::from(p.mode == "pim-orderlight");

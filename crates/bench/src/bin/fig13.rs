@@ -2,17 +2,16 @@
 //! multiplication factors (4x/8x/16x) for the Add kernel.
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::fig13;
+use orderlight_sim::experiments::fig13_jobs;
+use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
 
 fn main() {
     let data = report_data_bytes();
-    println!(
-        "Figure 13 — BMF sweep, Add kernel, {} KiB/structure/channel\n",
-        data / 1024
-    );
-    let rows = fig13(data).expect("figure 13 sweep");
+    let jobs = jobs_from_process_args();
+    println!("Figure 13 — BMF sweep, Add kernel, {} KiB/structure/channel\n", data / 1024);
+    let rows = fig13_jobs(data, jobs).expect("figure 13 sweep");
     let mut cells: BTreeMap<(u32, String), [Option<f64>; 2]> = BTreeMap::new();
     for p in &rows {
         let i = usize::from(p.mode == "pim-orderlight");
@@ -38,10 +37,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "{}",
-        format_table(&["BMF", "TS", "fence ms", "OL ms", "OL vs fence"], &table)
-    );
+    println!("{}", format_table(&["BMF", "TS", "fence ms", "OL ms", "OL vs fence"], &table));
     let lo = ratios.iter().copied().fold(f64::MAX, f64::min);
     let hi = ratios.iter().copied().fold(0.0f64, f64::max);
     println!(

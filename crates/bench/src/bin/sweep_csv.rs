@@ -2,11 +2,17 @@
 //! stdout — machine-readable results for external plotting.
 //!
 //! ```text
-//! cargo run --release -p orderlight-bench --bin sweep_csv > sweep.csv
+//! cargo run --release -p orderlight-bench --bin sweep_csv -- --jobs 8 > sweep.csv
 //! ```
+//!
+//! `--jobs N` (or `ORDERLIGHT_JOBS`) spreads the independent sweep
+//! points over N worker threads; the default is the host's available
+//! parallelism. Output is bit-identical at any worker count (enforced
+//! by `tests/parallel_equivalence.rs`).
 
 use orderlight_bench::report_data_bytes;
-use orderlight_sim::experiments::{fig10, fig12, fig13, SweepPoint};
+use orderlight_sim::experiments::{fig10_jobs, fig12_jobs, fig13_jobs, SweepPoint};
+use orderlight_sim::pool::jobs_from_process_args;
 
 fn emit(rows: &[SweepPoint], figure: &str) {
     for p in rows {
@@ -30,10 +36,11 @@ fn emit(rows: &[SweepPoint], figure: &str) {
 
 fn main() {
     let data = report_data_bytes();
+    let jobs = jobs_from_process_args();
     println!(
         "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified"
     );
-    emit(&fig10(data).expect("fig10"), "fig10");
-    emit(&fig12(data).expect("fig12"), "fig12");
-    emit(&fig13(data).expect("fig13"), "fig13");
+    emit(&fig10_jobs(data, jobs).expect("fig10"), "fig10");
+    emit(&fig12_jobs(data, jobs).expect("fig12"), "fig12");
+    emit(&fig13_jobs(data, jobs).expect("fig13"), "fig13");
 }

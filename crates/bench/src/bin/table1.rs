@@ -5,7 +5,6 @@ use orderlight_sim::report::format_table;
 
 fn main() {
     println!("Table 1 — simulator configuration\n");
-    let rows: Vec<Vec<String>> =
-        table1().into_iter().map(|(k, v)| vec![k, v]).collect();
+    let rows: Vec<Vec<String>> = table1().into_iter().map(|(k, v)| vec![k, v]).collect();
     println!("{}", format_table(&["parameter", "value"], &rows));
 }

@@ -25,14 +25,7 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &[
-                "kernel",
-                "description",
-                "paper C:M",
-                "spec C:M",
-                ">1 structure",
-                "suite"
-            ],
+            &["kernel", "description", "paper C:M", "spec C:M", ">1 structure", "suite"],
             &rows
         )
     );

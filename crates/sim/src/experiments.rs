@@ -1,7 +1,19 @@
 //! Canned experiment runners — one per table/figure of the paper's
 //! evaluation (see DESIGN.md's per-experiment index).
+//!
+//! Every sweep is expressed in two stages so it can run in parallel:
+//! a `*_points` function **enumerates** the design points as
+//! [`JobSpec`]s, and [`run_points`] executes them through a
+//! [`Pool`](crate::pool::Pool) of scoped threads. Results are returned
+//! in enumeration order and are bit-identical to the serial loop
+//! ([`run_points_serial`]) at any worker count: a run's RNG streams are
+//! seeded from the point spec (workload/channel/slice), never from
+//! worker identity, and each run owns its whole `System`, so nothing
+//! observable leaks between concurrent runs. `tests/
+//! parallel_equivalence.rs` enforces the contract.
 
 use crate::config::{ExecMode, ExperimentConfig, SystemConfig};
+use crate::pool::Pool;
 use crate::stats::RunStats;
 use crate::system::{SimError, System};
 use orderlight::types::BankId;
@@ -10,7 +22,7 @@ use orderlight_pim::TsSize;
 use orderlight_workloads::{OrderingMode, WorkloadId};
 
 /// One point of a design-space sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Workload run.
     pub workload: String,
@@ -59,6 +71,16 @@ fn budget(exp: &ExperimentConfig) -> u64 {
 /// Returns [`SimError`] if the system fails to drain.
 pub fn run_experiment(mut exp: ExperimentConfig) -> Result<RunStats, SimError> {
     apply_sm_policy(&mut exp);
+    run_experiment_fixed(exp)
+}
+
+/// Like [`run_experiment`], but keeps the caller's SM allocation
+/// instead of applying the paper's GPU SM policy — for hosts (e.g. the
+/// CPU study) whose allocation is part of the configuration.
+///
+/// # Errors
+/// Returns [`SimError`] if the system fails to drain.
+pub fn run_experiment_fixed(exp: ExperimentConfig) -> Result<RunStats, SimError> {
     let b = budget(&exp);
     let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
     sys.run(b)
@@ -101,106 +123,235 @@ pub fn run_point(
     bmf: u32,
     data_bytes_per_channel: u64,
 ) -> Result<SweepPoint, SimError> {
-    let mut exp = ExperimentConfig::new(workload, mode);
-    exp.ts_size = ts;
-    exp.bmf = bmf;
-    exp.data_bytes_per_channel = data_bytes_per_channel;
-    let stats = run_experiment(exp)?;
-    Ok(SweepPoint {
-        workload: workload.to_string(),
-        ts: match mode {
-            ExecMode::Gpu => "-".to_string(),
-            ExecMode::Pim(_) => ts.to_string(),
-        },
-        mode: mode.to_string(),
-        bmf,
-        stats,
-    })
+    JobSpec { workload, ts, mode, bmf, data_bytes_per_channel }.run()
+}
+
+/// The full specification of one independent sweep point — everything a
+/// worker thread needs to reproduce the run. Seeding is derived from
+/// these fields alone (the workload generators hash workload, channel
+/// and slice identity), so the same spec yields the same
+/// [`SweepPoint`] on any thread of any pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload to run.
+    pub workload: WorkloadId,
+    /// PIM temporary-storage size (ignored in GPU mode).
+    pub ts: TsSize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Bandwidth multiplication factor.
+    pub bmf: u32,
+    /// Bytes per data structure per channel.
+    pub data_bytes_per_channel: u64,
+}
+
+impl JobSpec {
+    /// A spec at the default BMF 16.
+    #[must_use]
+    pub fn new(workload: WorkloadId, ts: TsSize, mode: ExecMode, data: u64) -> JobSpec {
+        JobSpec { workload, ts, mode, bmf: 16, data_bytes_per_channel: data }
+    }
+
+    /// Builds, runs and verifies this point's experiment.
+    ///
+    /// # Errors
+    /// Propagates [`SimError`] from the run.
+    pub fn run(&self) -> Result<SweepPoint, SimError> {
+        let mut exp = ExperimentConfig::new(self.workload, self.mode);
+        exp.ts_size = self.ts;
+        exp.bmf = self.bmf;
+        exp.data_bytes_per_channel = self.data_bytes_per_channel;
+        let stats = run_experiment(exp)?;
+        Ok(SweepPoint {
+            workload: self.workload.to_string(),
+            ts: match self.mode {
+                ExecMode::Gpu => "-".to_string(),
+                ExecMode::Pim(_) => self.ts.to_string(),
+            },
+            mode: self.mode.to_string(),
+            bmf: self.bmf,
+            stats,
+        })
+    }
+}
+
+/// Executes `specs` through `pool`, returning results in input order.
+/// On failure the error reported is the *first failing spec in input
+/// order* (not completion order), keeping even the error path
+/// deterministic.
+///
+/// # Errors
+/// Propagates the first [`SimError`] in input order.
+pub fn run_points(specs: &[JobSpec], pool: &Pool) -> Result<Vec<SweepPoint>, SimError> {
+    pool.run(specs.iter().map(|s| move || s.run()).collect::<Vec<_>>()).into_iter().collect()
+}
+
+/// The reference serial loop. [`run_points`] at any worker count is
+/// asserted bit-identical to this by `tests/parallel_equivalence.rs`.
+///
+/// # Errors
+/// Propagates the first [`SimError`].
+pub fn run_points_serial(specs: &[JobSpec]) -> Result<Vec<SweepPoint>, SimError> {
+    specs.iter().map(JobSpec::run).collect()
+}
+
+/// Runs a batch of fully-specified experiments through `pool`,
+/// preserving input order (the ablation sweeps' analogue of
+/// [`run_points`]).
+///
+/// # Errors
+/// Propagates the first [`SimError`] in input order.
+pub fn run_experiments(
+    exps: Vec<ExperimentConfig>,
+    pool: &Pool,
+) -> Result<Vec<RunStats>, SimError> {
+    pool.run(exps.into_iter().map(|e| move || run_experiment(e)).collect::<Vec<_>>())
+        .into_iter()
+        .collect()
+}
+
+/// Enumerates Figure 5's design points: fence overhead for the
+/// vector-add kernel — {no ordering (functionally incorrect), fence at
+/// TS = 1/16..1/2 RB}.
+#[must_use]
+pub fn fig05_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
+    let mut points = vec![JobSpec::new(
+        WorkloadId::Add,
+        TsSize::Eighth,
+        ExecMode::Pim(OrderingMode::None),
+        data_bytes_per_channel,
+    )];
+    for ts in TsSize::ALL {
+        points.push(JobSpec::new(
+            WorkloadId::Add,
+            ts,
+            ExecMode::Pim(OrderingMode::Fence),
+            data_bytes_per_channel,
+        ));
+    }
+    points
+}
+
+/// Figure 5, executed across `jobs` workers.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig05_jobs(data_bytes_per_channel: u64, jobs: usize) -> Result<Vec<SweepPoint>, SimError> {
+    run_points(&fig05_points(data_bytes_per_channel), &Pool::new(jobs))
 }
 
 /// Figure 5: fence overhead for the vector-add kernel — execution time
-/// and waiting cycles per fence for {no ordering (functionally
-/// incorrect), fence at TS = 1/16..1/2 RB}.
+/// and waiting cycles per fence (serial execution; see [`fig05_jobs`]).
 ///
 /// # Errors
 /// Propagates [`SimError`].
 pub fn fig05(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
-    let mut rows = Vec::new();
-    rows.push(run_point(
-        WorkloadId::Add,
-        TsSize::Eighth,
-        ExecMode::Pim(OrderingMode::None),
-        16,
-        data_bytes_per_channel,
-    )?);
-    for ts in TsSize::ALL {
-        rows.push(run_point(
-            WorkloadId::Add,
-            ts,
-            ExecMode::Pim(OrderingMode::Fence),
-            16,
-            data_bytes_per_channel,
-        )?);
-    }
-    Ok(rows)
+    fig05_jobs(data_bytes_per_channel, 1)
 }
 
-/// Figures 10a/10b: the stream benchmark sweep — every stream kernel at
-/// every TS size under fence and OrderLight, plus the GPU baseline.
+/// Enumerates Figures 10a/10b: every stream kernel at every TS size
+/// under fence and OrderLight, plus the GPU baseline.
+#[must_use]
+pub fn fig10_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
+    let mut points = Vec::new();
+    for wl in WorkloadId::STREAMS {
+        points.push(JobSpec::new(wl, TsSize::Eighth, ExecMode::Gpu, data_bytes_per_channel));
+        for ts in TsSize::ALL {
+            for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
+                points.push(JobSpec::new(wl, ts, ExecMode::Pim(mode), data_bytes_per_channel));
+            }
+        }
+    }
+    points
+}
+
+/// Figures 10a/10b, executed across `jobs` workers.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig10_jobs(data_bytes_per_channel: u64, jobs: usize) -> Result<Vec<SweepPoint>, SimError> {
+    run_points(&fig10_points(data_bytes_per_channel), &Pool::new(jobs))
+}
+
+/// Figures 10a/10b: the stream benchmark sweep (serial execution; see
+/// [`fig10_jobs`]).
 ///
 /// # Errors
 /// Propagates [`SimError`].
 pub fn fig10(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
-    let mut rows = Vec::new();
-    for wl in WorkloadId::STREAMS {
-        rows.push(run_point(wl, TsSize::Eighth, ExecMode::Gpu, 16, data_bytes_per_channel)?);
+    fig10_jobs(data_bytes_per_channel, 1)
+}
+
+/// Enumerates Figure 12: the application kernels, fence vs OrderLight
+/// at every TS size.
+#[must_use]
+pub fn fig12_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
+    let mut points = Vec::new();
+    for wl in WorkloadId::APPS {
         for ts in TsSize::ALL {
             for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-                rows.push(run_point(wl, ts, ExecMode::Pim(mode), 16, data_bytes_per_channel)?);
+                points.push(JobSpec::new(wl, ts, ExecMode::Pim(mode), data_bytes_per_channel));
             }
         }
     }
-    Ok(rows)
+    points
+}
+
+/// Figure 12, executed across `jobs` workers.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig12_jobs(data_bytes_per_channel: u64, jobs: usize) -> Result<Vec<SweepPoint>, SimError> {
+    run_points(&fig12_points(data_bytes_per_channel), &Pool::new(jobs))
 }
 
 /// Figure 12: the application-kernel sweep (fence vs OrderLight at every
-/// TS size), whose `primitives_per_pim_instr` reproduces the line plot.
+/// TS size), whose `primitives_per_pim_instr` reproduces the line plot
+/// (serial execution; see [`fig12_jobs`]).
 ///
 /// # Errors
 /// Propagates [`SimError`].
 pub fn fig12(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
-    let mut rows = Vec::new();
-    for wl in WorkloadId::APPS {
+    fig12_jobs(data_bytes_per_channel, 1)
+}
+
+/// Enumerates Figure 13: the bandwidth-multiplication-factor sweep
+/// (4x/8x/16x) for the Add kernel under fence and OrderLight.
+#[must_use]
+pub fn fig13_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
+    let mut points = Vec::new();
+    for bmf in [4u32, 8, 16] {
         for ts in TsSize::ALL {
             for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-                rows.push(run_point(wl, ts, ExecMode::Pim(mode), 16, data_bytes_per_channel)?);
+                points.push(JobSpec {
+                    workload: WorkloadId::Add,
+                    ts,
+                    mode: ExecMode::Pim(mode),
+                    bmf,
+                    data_bytes_per_channel,
+                });
             }
         }
     }
-    Ok(rows)
+    points
+}
+
+/// Figure 13, executed across `jobs` workers.
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn fig13_jobs(data_bytes_per_channel: u64, jobs: usize) -> Result<Vec<SweepPoint>, SimError> {
+    run_points(&fig13_points(data_bytes_per_channel), &Pool::new(jobs))
 }
 
 /// Figure 13: bandwidth-multiplication-factor sweep (4x/8x/16x) for the
-/// Add kernel under fence and OrderLight.
+/// Add kernel under fence and OrderLight (serial execution; see
+/// [`fig13_jobs`]).
 ///
 /// # Errors
 /// Propagates [`SimError`].
 pub fn fig13(data_bytes_per_channel: u64) -> Result<Vec<SweepPoint>, SimError> {
-    let mut rows = Vec::new();
-    for bmf in [4u32, 8, 16] {
-        for ts in TsSize::ALL {
-            for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-                rows.push(run_point(
-                    WorkloadId::Add,
-                    ts,
-                    ExecMode::Pim(mode),
-                    bmf,
-                    data_bytes_per_channel,
-                )?);
-            }
-        }
-    }
-    Ok(rows)
+    fig13_jobs(data_bytes_per_channel, 1)
 }
 
 /// Figure 11: the DRAM timing window — analytic and micro-simulated.
@@ -269,11 +420,15 @@ pub struct ArbitrationAblation {
     pub pim_exec_cycles: u64,
 }
 
-/// Runs the arbitration ablation (see [`ArbitrationAblation`]).
+/// Runs the arbitration ablation (see [`ArbitrationAblation`]) across
+/// `jobs` workers.
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_arbitration(data_bytes_per_channel: u64) -> Result<ArbitrationAblation, SimError> {
+pub fn ablation_arbitration_jobs(
+    data_bytes_per_channel: u64,
+    jobs: usize,
+) -> Result<ArbitrationAblation, SimError> {
     // Fine-grained: host traffic to memory group 1 interleaves with the
     // PIM kernel in group 0. We approximate the host stream with the
     // Copy workload placed in GPU mode on the same system size, and
@@ -282,21 +437,30 @@ pub fn ablation_arbitration(data_bytes_per_channel: u64) -> Result<ArbitrationAb
     // asserted by unit tests in `orderlight-memctrl`).
     let mut gpu = ExperimentConfig::new(WorkloadId::Copy, ExecMode::Gpu);
     gpu.data_bytes_per_channel = data_bytes_per_channel;
-    let gpu_stats = run_experiment(gpu)?;
+    // Coarse-grained: the host waits out the whole PIM kernel.
+    let mut pim = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+    pim.data_bytes_per_channel = data_bytes_per_channel;
+    let stats = run_experiments(vec![gpu, pim], &Pool::new(jobs))?;
+    let (gpu_stats, pim_stats) = (&stats[0], &stats[1]);
     let fga_mean = if gpu_stats.mc.host_reads == 0 {
         0.0
     } else {
         gpu_stats.mc.host_read_latency_sum as f64 / gpu_stats.mc.host_reads as f64
     };
-    // Coarse-grained: the host waits out the whole PIM kernel.
-    let mut pim = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
-    pim.data_bytes_per_channel = data_bytes_per_channel;
-    let pim_stats = run_experiment(pim)?;
     Ok(ArbitrationAblation {
         fga_mean_host_latency: fga_mean,
         cga_host_wait_cycles: pim_stats.core_cycles,
         pim_exec_cycles: pim_stats.core_cycles,
     })
+}
+
+/// Runs the arbitration ablation serially (see
+/// [`ablation_arbitration_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_arbitration(data_bytes_per_channel: u64) -> Result<ArbitrationAblation, SimError> {
+    ablation_arbitration_jobs(data_bytes_per_channel, 1)
 }
 
 /// One row of the sequence-number (Kim et al. (paper reference 27)) comparison.
@@ -322,15 +486,25 @@ pub struct SeqNumRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_seqnum(
+pub fn ablation_seqnum_jobs(
     data_bytes_per_channel: u64,
     ts: TsSize,
+    jobs: usize,
 ) -> Result<Vec<SeqNumRow>, SimError> {
-    let mut rows = Vec::new();
     let mut base = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
     base.ts_size = ts;
     base.data_bytes_per_channel = data_bytes_per_channel;
-    let ol = run_experiment(base.clone())?;
+    const CREDITS: [u32; 5] = [4, 8, 16, 32, 64];
+    let mut exps = vec![base.clone()];
+    for credits in CREDITS {
+        let mut exp = base.clone();
+        exp.mode = ExecMode::Pim(OrderingMode::SeqNum);
+        exp.seq_credits = credits;
+        exps.push(exp);
+    }
+    let stats = run_experiments(exps, &Pool::new(jobs))?;
+    let mut rows = Vec::new();
+    let ol = &stats[0];
     rows.push(SeqNumRow {
         label: "orderlight".into(),
         exec_time_ms: ol.exec_time_ms,
@@ -338,20 +512,28 @@ pub fn ablation_seqnum(
         credit_wait_cycles: 0,
         correct: ol.is_correct(),
     });
-    for credits in [4u32, 8, 16, 32, 64] {
-        let mut exp = base.clone();
-        exp.mode = ExecMode::Pim(OrderingMode::SeqNum);
-        exp.seq_credits = credits;
-        let stats = run_experiment(exp)?;
+    for (credits, s) in CREDITS.iter().zip(&stats[1..]) {
         rows.push(SeqNumRow {
             label: format!("seqnum B={credits}"),
-            exec_time_ms: stats.exec_time_ms,
-            command_gcs: stats.command_bandwidth_gcs,
-            credit_wait_cycles: stats.sm.credit_wait_cycles,
-            correct: stats.is_correct(),
+            exec_time_ms: s.exec_time_ms,
+            command_gcs: s.command_bandwidth_gcs,
+            credit_wait_cycles: s.sm.credit_wait_cycles,
+            correct: s.is_correct(),
         });
     }
     Ok(rows)
+}
+
+/// The sequence-number comparison, run serially (see
+/// [`ablation_seqnum_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_seqnum(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+) -> Result<Vec<SeqNumRow>, SimError> {
+    ablation_seqnum_jobs(data_bytes_per_channel, ts, 1)
 }
 
 /// The fence-scope ablation (paper Section 4.3): where the fence
@@ -374,20 +556,23 @@ pub struct FenceScopeAblation {
     pub l2_ack_mismatches: u64,
 }
 
-/// Runs the fence-scope ablation on the Add kernel.
+/// Runs the fence-scope ablation on the Add kernel across `jobs`
+/// workers.
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_fence_scope(
+pub fn ablation_fence_scope_jobs(
     data_bytes_per_channel: u64,
     ts: TsSize,
+    jobs: usize,
 ) -> Result<FenceScopeAblation, SimError> {
     let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence));
     exp.ts_size = ts;
     exp.data_bytes_per_channel = data_bytes_per_channel;
-    let strict = run_experiment(exp.clone())?;
+    let strict_exp = exp.clone();
     exp.system.pipe.fence_ack_at_l2 = true;
-    let loose = run_experiment(exp)?;
+    let stats = run_experiments(vec![strict_exp, exp], &Pool::new(jobs))?;
+    let (strict, loose) = (&stats[0], &stats[1]);
     Ok(FenceScopeAblation {
         dram_issue_ms: strict.exec_time_ms,
         dram_issue_wait: strict.wait_cycles_per_fence(),
@@ -397,6 +582,18 @@ pub fn ablation_fence_scope(
         l2_ack_correct: loose.is_correct(),
         l2_ack_mismatches: loose.verified_mismatches,
     })
+}
+
+/// Runs the fence-scope ablation serially (see
+/// [`ablation_fence_scope_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_fence_scope(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+) -> Result<FenceScopeAblation, SimError> {
+    ablation_fence_scope_jobs(data_bytes_per_channel, ts, 1)
 }
 
 /// A CPU-host system configuration, following the paper's conclusion:
@@ -450,27 +647,48 @@ pub struct CpuHostRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
+pub fn ablation_cpu_host_jobs(
+    data_bytes_per_channel: u64,
+    ts: TsSize,
+    jobs: usize,
+) -> Result<Vec<CpuHostRow>, SimError> {
+    const MODES: [OrderingMode; 2] = [OrderingMode::Fence, OrderingMode::OrderLight];
+    let exps: Vec<ExperimentConfig> = MODES
+        .into_iter()
+        .map(|mode| {
+            let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(mode));
+            exp.system = cpu_host_config();
+            exp.ts_size = ts;
+            exp.data_bytes_per_channel = data_bytes_per_channel;
+            exp
+        })
+        .collect();
+    // CPU allocation is fixed; skip the GPU SM policy.
+    let stats: Result<Vec<RunStats>, SimError> = Pool::new(jobs)
+        .run(exps.into_iter().map(|e| move || run_experiment_fixed(e)).collect::<Vec<_>>())
+        .into_iter()
+        .collect();
+    Ok(MODES
+        .into_iter()
+        .zip(stats?)
+        .map(|(mode, s)| CpuHostRow {
+            label: format!("cpu {mode}"),
+            exec_time_ms: s.exec_time_ms,
+            wait_per_fence: s.wait_cycles_per_fence(),
+            correct: s.is_correct(),
+        })
+        .collect())
+}
+
+/// The CPU-host study, run serially (see [`ablation_cpu_host_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
 pub fn ablation_cpu_host(
     data_bytes_per_channel: u64,
     ts: TsSize,
 ) -> Result<Vec<CpuHostRow>, SimError> {
-    let mut rows = Vec::new();
-    for mode in [OrderingMode::Fence, OrderingMode::OrderLight] {
-        let mut exp = ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(mode));
-        exp.system = cpu_host_config();
-        exp.ts_size = ts;
-        exp.data_bytes_per_channel = data_bytes_per_channel;
-        // CPU allocation is fixed; skip the GPU SM policy.
-        let b = 200_000_000 + exp.stripes_per_channel() * 20_000;
-        let stats = System::build(exp).map_err(|e| SimError::from_config(&e))?.run(b)?;
-        rows.push(CpuHostRow {
-            label: format!("cpu {mode}"),
-            exec_time_ms: stats.exec_time_ms,
-            wait_per_fence: stats.wait_cycles_per_fence(),
-            correct: stats.is_correct(),
-        });
-    }
-    Ok(rows)
+    ablation_cpu_host_jobs(data_bytes_per_channel, ts, 1)
 }
 
 /// One row of the scheduler-knob ablation.
@@ -497,35 +715,52 @@ pub struct SchedulerRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_scheduler(data_bytes_per_channel: u64) -> Result<Vec<SchedulerRow>, SimError> {
-    let mut rows = Vec::new();
-    let mut run_with = |label: String, scan_depth: usize, bank_q: usize| -> Result<(), SimError> {
+pub fn ablation_scheduler_jobs(
+    data_bytes_per_channel: u64,
+    jobs: usize,
+) -> Result<Vec<SchedulerRow>, SimError> {
+    let mut labels = Vec::new();
+    let mut exps = Vec::new();
+    let mut enumerate = |label: String, scan_depth: usize, bank_q: usize| {
         let mut pim =
             ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
         pim.data_bytes_per_channel = data_bytes_per_channel;
         pim.system.mc.scan_depth = scan_depth;
         pim.system.mc.bank_queue_capacity = bank_q;
-        let pim_stats = run_experiment(pim)?;
         let mut host = ExperimentConfig::new(WorkloadId::Add, ExecMode::Gpu);
         host.data_bytes_per_channel = data_bytes_per_channel / 4;
         host.system.mc.scan_depth = scan_depth;
         host.system.mc.bank_queue_capacity = bank_q;
-        let host_stats = run_experiment(host)?;
-        rows.push(SchedulerRow {
-            label,
-            pim_command_gcs: pim_stats.command_bandwidth_gcs,
-            host_exec_ms: host_stats.exec_time_ms,
-            host_activates: host_stats.mc.activates,
-        });
-        Ok(())
+        labels.push(label);
+        exps.push(pim);
+        exps.push(host);
     };
     for scan in [1usize, 4, 16, 64] {
-        run_with(format!("scan_depth={scan}"), scan, 4)?;
+        enumerate(format!("scan_depth={scan}"), scan, 4);
     }
     for bq in [1usize, 2, 4, 8] {
-        run_with(format!("bank_queue={bq}"), 16, bq)?;
+        enumerate(format!("bank_queue={bq}"), 16, bq);
     }
-    Ok(rows)
+    let stats = run_experiments(exps, &Pool::new(jobs))?;
+    Ok(labels
+        .into_iter()
+        .zip(stats.chunks_exact(2))
+        .map(|(label, pair)| SchedulerRow {
+            label,
+            pim_command_gcs: pair[0].command_bandwidth_gcs,
+            host_exec_ms: pair[1].exec_time_ms,
+            host_activates: pair[1].mc.activates,
+        })
+        .collect())
+}
+
+/// The scheduler-knob ablation, run serially (see
+/// [`ablation_scheduler_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_scheduler(data_bytes_per_channel: u64) -> Result<Vec<SchedulerRow>, SimError> {
+    ablation_scheduler_jobs(data_bytes_per_channel, 1)
 }
 
 /// One row of the refresh ablation.
@@ -547,25 +782,43 @@ pub struct RefreshRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_refresh(data_bytes_per_channel: u64) -> Result<Vec<RefreshRow>, SimError> {
-    let mut rows = Vec::new();
-    for (label, refresh) in [
+pub fn ablation_refresh_jobs(
+    data_bytes_per_channel: u64,
+    jobs: usize,
+) -> Result<Vec<RefreshRow>, SimError> {
+    let settings = [
         ("no refresh (paper)", None),
         ("HBM2 refresh", Some(orderlight_hbm::RefreshParams::hbm2())),
-    ] {
-        let mut exp =
-            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
-        exp.data_bytes_per_channel = data_bytes_per_channel;
-        exp.system.refresh = refresh;
-        let stats = run_experiment(exp)?;
-        rows.push(RefreshRow {
-            label: label.to_string(),
-            exec_time_ms: stats.exec_time_ms,
-            command_gcs: stats.command_bandwidth_gcs,
-            correct: stats.is_correct(),
-        });
-    }
-    Ok(rows)
+    ];
+    let exps: Vec<ExperimentConfig> = settings
+        .iter()
+        .map(|(_, refresh)| {
+            let mut exp =
+                ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+            exp.data_bytes_per_channel = data_bytes_per_channel;
+            exp.system.refresh = *refresh;
+            exp
+        })
+        .collect();
+    let stats = run_experiments(exps, &Pool::new(jobs))?;
+    Ok(settings
+        .iter()
+        .zip(stats)
+        .map(|((label, _), s)| RefreshRow {
+            label: (*label).to_string(),
+            exec_time_ms: s.exec_time_ms,
+            command_gcs: s.command_bandwidth_gcs,
+            correct: s.is_correct(),
+        })
+        .collect())
+}
+
+/// The refresh ablation, run serially (see [`ablation_refresh_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_refresh(data_bytes_per_channel: u64) -> Result<Vec<RefreshRow>, SimError> {
+    ablation_refresh_jobs(data_bytes_per_channel, 1)
 }
 
 /// One row of the page-policy ablation.
@@ -585,23 +838,41 @@ pub struct PagePolicyRow {
 ///
 /// # Errors
 /// Propagates [`SimError`].
-pub fn ablation_page_policy(data_bytes_per_channel: u64) -> Result<Vec<PagePolicyRow>, SimError> {
+pub fn ablation_page_policy_jobs(
+    data_bytes_per_channel: u64,
+    jobs: usize,
+) -> Result<Vec<PagePolicyRow>, SimError> {
     use orderlight_memctrl::PagePolicy;
-    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut exps = Vec::new();
     for wl in [WorkloadId::Add, WorkloadId::GenFil] {
         for policy in [PagePolicy::Open, PagePolicy::Closed] {
             let mut exp = ExperimentConfig::new(wl, ExecMode::Pim(OrderingMode::OrderLight));
             exp.data_bytes_per_channel = data_bytes_per_channel;
             exp.system.mc.page_policy = policy;
-            let stats = run_experiment(exp)?;
-            rows.push(PagePolicyRow {
-                label: format!("{wl} / {policy:?}"),
-                exec_time_ms: stats.exec_time_ms,
-                activates: stats.mc.activates,
-            });
+            labels.push(format!("{wl} / {policy:?}"));
+            exps.push(exp);
         }
     }
-    Ok(rows)
+    let stats = run_experiments(exps, &Pool::new(jobs))?;
+    Ok(labels
+        .into_iter()
+        .zip(stats)
+        .map(|(label, s)| PagePolicyRow {
+            label,
+            exec_time_ms: s.exec_time_ms,
+            activates: s.mc.activates,
+        })
+        .collect())
+}
+
+/// The page-policy ablation, run serially (see
+/// [`ablation_page_policy_jobs`]).
+///
+/// # Errors
+/// Propagates [`SimError`].
+pub fn ablation_page_policy(data_bytes_per_channel: u64) -> Result<Vec<PagePolicyRow>, SimError> {
+    ablation_page_policy_jobs(data_bytes_per_channel, 1)
 }
 
 /// Table 1 as printable rows (configuration echo).
@@ -664,6 +935,32 @@ mod tests {
         assert_eq!(get("R/W queue size"), "64");
         assert!(get("Memory timing").contains("RCDW=9"));
         assert!(get("Memory timing").contains("WTP=9"));
+    }
+
+    #[test]
+    fn point_enumerations_match_the_paper_shapes() {
+        let data = 8 * 1024;
+        assert_eq!(fig05_points(data).len(), 5, "NoFence + 4 fence TS points");
+        assert_eq!(fig10_points(data).len(), 5 * 9, "5 kernels x (GPU + 4 TS x 2 modes)");
+        assert_eq!(fig12_points(data).len(), 7 * 4 * 2);
+        assert_eq!(fig13_points(data).len(), 3 * 4 * 2);
+        for p in fig10_points(data) {
+            assert_eq!(p.data_bytes_per_channel, data);
+            assert_eq!(p.bmf, 16);
+        }
+        let bmfs: Vec<u32> = fig13_points(data).iter().map(|p| p.bmf).collect();
+        assert!(bmfs.starts_with(&[4; 8]) && bmfs.ends_with(&[16; 8]));
+    }
+
+    #[test]
+    fn run_points_is_bit_identical_to_the_serial_loop() {
+        // The cheapest two-point slice of fig05 at a tiny job size; the
+        // full-figure equivalence matrix lives in
+        // `tests/parallel_equivalence.rs`.
+        let specs = &fig05_points(4 * 1024)[..2];
+        let serial = run_points_serial(specs).unwrap();
+        let pooled = run_points(specs, &Pool::new(2)).unwrap();
+        assert_eq!(serial, pooled);
     }
 
     #[test]

@@ -14,14 +14,19 @@
 //! * functional correctness (matches / mismatches vs. the golden image).
 //!
 //! [`experiments`] packages a canned runner for every figure and table
-//! of the paper's evaluation.
+//! of the paper's evaluation. Each sweep enumerates its design points
+//! first ([`experiments::JobSpec`]) and executes them through the
+//! [`pool`] — a dependency-free scoped-thread pool whose results are
+//! bit-identical to the serial loop at any worker count.
 
 pub mod config;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod stats;
 pub mod system;
 
 pub use config::{ExecMode, ExperimentConfig, SystemConfig};
+pub use pool::Pool;
 pub use stats::RunStats;
 pub use system::System;

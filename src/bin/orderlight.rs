@@ -4,6 +4,8 @@
 //! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight]
 //!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
+//! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
+//! orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]
 //! orderlight list
 //! orderlight taxonomy
 //! ```
@@ -14,16 +16,33 @@
 //! orderlight run --workload Add --mode orderlight --ts 8
 //! orderlight run --workload KMeans --mode fence --ts 2 --data-kb 512
 //! orderlight trace Add --mode fence --data-kb 16 --out /tmp/add_fence
+//! orderlight sweep fig10 --jobs 8 > fig10.csv
+//! orderlight bench --quick --out BENCH_sweep.json
 //! ```
 //!
 //! `trace` runs the workload with a recording sink attached and writes
 //! `<out>.trace.json` (Chrome trace-event JSON — load it at
 //! <https://ui.perfetto.dev>), `<out>.counters.csv` (epoch-segmented
 //! counters) and a text summary with latency histograms to stdout.
+//!
+//! `sweep` regenerates the design-space sweeps behind Figures 5/10/12/13
+//! as CSV on stdout, executed across `--jobs` workers (default: the
+//! host's available parallelism, or `ORDERLIGHT_JOBS`). Results are
+//! bit-identical to serial execution at any worker count.
+//!
+//! `bench` times the same sweep serially and in parallel, verifies the
+//! two result sets are bit-identical, prints wall-clock/points-per-sec/
+//! speedup, and writes a machine-readable `BENCH_sweep.json` so the
+//! perf trajectory of the sweep engine is recorded over time. Exits
+//! non-zero on any parallel/serial mismatch.
 
 use orderlight_suite::pim::TsSize;
 use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
-use orderlight_suite::sim::experiments::{apply_sm_policy, run_experiment, run_experiment_traced};
+use orderlight_suite::sim::experiments::{
+    apply_sm_policy, fig05_points, fig10_points, fig12_points, fig13_points, run_experiment,
+    run_experiment_traced, run_points, run_points_serial, JobSpec, SweepPoint,
+};
+use orderlight_suite::sim::pool::{available_jobs, take_jobs_flag, Pool};
 use orderlight_suite::sim::report::bar_chart;
 use orderlight_suite::sim::RunStats;
 use orderlight_suite::trace::{
@@ -37,7 +56,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight list\n  orderlight taxonomy"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy"
     );
     ExitCode::from(2)
 }
@@ -470,11 +489,269 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
+/// The CSV schema shared by `orderlight sweep` and the `sweep_csv`
+/// bench binary.
+const SWEEP_CSV_HEADER: &str = "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified";
+
+fn emit_sweep_csv(figure: &str, rows: &[SweepPoint]) {
+    for p in rows {
+        let s = &p.stats;
+        println!(
+            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{}",
+            p.workload,
+            p.ts.replace(' ', ""),
+            p.mode,
+            p.bmf,
+            s.exec_time_ms,
+            s.command_bandwidth_gcs,
+            s.data_bandwidth_gbs,
+            s.stall_cycles(),
+            s.sm.fences + s.sm.orderlights,
+            s.primitives_per_pim_instr,
+            if s.is_correct() { "pass" } else { "FAIL" },
+        );
+    }
+}
+
+/// The figure sweeps selectable from the command line, in their
+/// canonical order.
+fn sweep_figures(which: &str, data: u64) -> Option<Vec<(&'static str, Vec<JobSpec>)>> {
+    let all = [
+        ("fig05", fig05_points(data)),
+        ("fig10", fig10_points(data)),
+        ("fig12", fig12_points(data)),
+        ("fig13", fig13_points(data)),
+    ];
+    match which {
+        "all" => Some(all.into_iter().collect()),
+        "fig05" | "fig10" | "fig12" | "fig13" => {
+            Some(all.into_iter().filter(|(name, _)| *name == which).collect())
+        }
+        _ => None,
+    }
+}
+
+/// `ORDERLIGHT_DATA_KB`, or `default_kb` when unset/unparsable.
+fn env_data_kb(default_kb: u64) -> u64 {
+    std::env::var("ORDERLIGHT_DATA_KB").ok().and_then(|v| v.parse().ok()).unwrap_or(default_kb)
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let (rest, jobs) = match take_jobs_flag(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let mut which = "all".to_string();
+    let mut data_kb = env_data_kb(256);
+    let mut rest = &rest[..];
+    if let Some(first) = rest.first() {
+        if !first.starts_with('-') {
+            which.clone_from(first);
+            rest = &rest[1..];
+        }
+    }
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--data-kb" => value.parse().map(|v| data_kb = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("invalid value '{value}' for {flag}");
+            return usage();
+        }
+    }
+    let Some(figures) = sweep_figures(&which, data_kb * 1024) else {
+        eprintln!("unknown sweep '{which}' (expected fig05|fig10|fig12|fig13|all)");
+        return usage();
+    };
+    eprintln!("sweeping {which} at {data_kb} KiB/structure/channel across {jobs} worker(s) ...");
+    let pool = Pool::new(jobs);
+    println!("{SWEEP_CSV_HEADER}");
+    for (name, specs) in figures {
+        match run_points(&specs, &pool) {
+            Ok(rows) => emit_sweep_csv(name, &rows),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serialises one bench measurement as a JSON object line set.
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    quick: bool,
+    data_kb: u64,
+    jobs: usize,
+    figures: &[(&'static str, usize)],
+    points: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    identical: bool,
+) -> String {
+    let rate = |secs: f64| if secs > 0.0 { points as f64 / secs } else { 0.0 };
+    let figs = figures
+        .iter()
+        .map(|(name, n)| format!("{{\"figure\": \"{name}\", \"points\": {n}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
+    format!(
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v1\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n",
+        avail = available_jobs(),
+        sr = rate(serial_s),
+        pr = rate(parallel_s),
+    )
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let (rest, jobs) = match take_jobs_flag(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let mut quick = false;
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut data_kb: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let ok = match flag.as_str() {
+            "--quick" => {
+                quick = true;
+                true
+            }
+            "--out" | "-o" => match it.next() {
+                Some(v) => {
+                    out.clone_from(v);
+                    true
+                }
+                None => {
+                    eprintln!("missing value for {flag}");
+                    return usage();
+                }
+            },
+            "--data-kb" => match it.next() {
+                Some(v) => v.parse().map(|n| data_kb = Some(n)).is_ok(),
+                None => {
+                    eprintln!("missing value for {flag}");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("invalid value for {flag}");
+            return usage();
+        }
+    }
+    // The quick profile is the CI smoke: every figure sweep, but at a
+    // reduced job size (seconds instead of minutes), still exercising
+    // GPU/fence/OrderLight/unordered modes end to end.
+    let data_kb = data_kb.unwrap_or_else(|| env_data_kb(if quick { 8 } else { 32 }));
+    let data = data_kb * 1024;
+    let figures = sweep_figures("all", data).expect("'all' is always known");
+    let specs: Vec<JobSpec> = figures.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let fig_counts: Vec<(&'static str, usize)> =
+        figures.iter().map(|(name, s)| (*name, s.len())).collect();
+    println!(
+        "benchmarking sweep execution: {} points ({}) at {data_kb} KiB/structure/channel",
+        specs.len(),
+        fig_counts.iter().map(|(n, c)| format!("{n}={c}")).collect::<Vec<_>>().join(", "),
+    );
+
+    // Untimed warm-up pass: the first sweep pays one-off costs (heap
+    // growth, page faults) that would otherwise be billed entirely to
+    // the serial leg and inflate the reported speedup.
+    if let Err(e) = run_points_serial(&specs) {
+        eprintln!("warm-up sweep failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let t0 = std::time::Instant::now();
+    let serial = match run_points_serial(&specs) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("serial sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!("  serial  : {serial_s:.3} s  ({:.2} points/s)", specs.len() as f64 / serial_s);
+
+    let pool = Pool::new(jobs);
+    let t1 = std::time::Instant::now();
+    let parallel = match run_points(&specs, &pool) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("parallel sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parallel_s = t1.elapsed().as_secs_f64();
+    println!(
+        "  parallel: {parallel_s:.3} s  ({:.2} points/s) at --jobs {jobs}",
+        specs.len() as f64 / parallel_s
+    );
+    println!(
+        "  speedup : {:.2}x on a host with {} available core(s)",
+        serial_s / parallel_s,
+        available_jobs()
+    );
+
+    let identical = serial == parallel;
+    if identical {
+        println!("  results : parallel run bit-identical to serial ({} points)", serial.len());
+    } else {
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            if a != b {
+                eprintln!(
+                    "  MISMATCH at point {i} ({} {} {} bmf={}): parallel result diverges from serial",
+                    a.workload, a.ts, a.mode, a.bmf
+                );
+            }
+        }
+        eprintln!("  results : PARALLEL/SERIAL MISMATCH — determinism contract violated");
+    }
+
+    let json =
+        bench_json(quick, data_kb, jobs, &fig_counts, specs.len(), serial_s, parallel_s, identical);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),
         _ => usage(),

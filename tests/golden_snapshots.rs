@@ -1,0 +1,75 @@
+//! Golden snapshots: exact, checked-in expected values for the
+//! deterministic (non-sweep) artifacts — the Figure 11 DRAM timing
+//! window and the Table 1 / Table 2 echoes. Any change to DRAM timing
+//! parameters, system configuration defaults, or workload metadata
+//! shows up here as a diff against the literal snapshot, so
+//! re-baselining is always an explicit, reviewed act.
+
+use orderlight_suite::sim::experiments::{fig11, table1};
+use orderlight_suite::workloads::{Suite, WorkloadId};
+
+/// Figure 11: the 44-cycle row window (tRCDW + 7·tCCD + tWP + tRP)
+/// holds both analytically and on the simulated bank state machine,
+/// giving the paper's 2.47 GC/s peak command bandwidth at 850 MHz over
+/// 16 channels.
+#[test]
+fn fig11_window_snapshot() {
+    let f = fig11();
+    assert_eq!(f.analytic_window, 44, "analytic window");
+    assert_eq!(f.simulated_window, 44, "simulated window");
+    assert_eq!(f.writes_per_window, 8, "column writes per window");
+    assert!((f.peak_command_gcs - 2.47).abs() < 0.01, "peak GC/s {}", f.peak_command_gcs);
+}
+
+/// Table 1: the full simulator configuration echo, row by row.
+#[test]
+fn table1_snapshot() {
+    let expected: Vec<(&str, &str)> = vec![
+        ("GPU model", "Volta Titan V (modelled)"),
+        ("Number of SMs", "80"),
+        ("Core frequency", "1200 MHz"),
+        ("Memory model", "HBM"),
+        ("Memory channels", "16"),
+        ("Banks per channel", "16"),
+        ("Memory frequency", "850 MHz"),
+        ("DRAM bus width", "32B"),
+        ("Memory scheduler", "FRFCFS"),
+        ("R/W queue size", "64"),
+        ("L2 queue size", "64"),
+        ("Interconnect to L2 latency", "120 cycles"),
+        ("L2 to DRAM scheduler latency", "100 cycles"),
+        ("Memory timing", "CCD=1:RRD=3:RCDW=9:RAS=28:RP=12:CL=12:WL=2:CDLR=3:WR=10:CCDL=2:WTP=9"),
+    ];
+    let actual = table1();
+    let actual: Vec<(&str, &str)> = actual.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    assert_eq!(actual, expected);
+}
+
+/// Table 2: the workload suite metadata plus the structural
+/// compute:memory operation counts of each kernel specification
+/// (`ops_per_stripe`), in Table 2 order.
+#[test]
+fn table2_snapshot() {
+    #[rustfmt::skip]
+    let expected: [(&str, &str, &str, bool, Suite, f64, f64); 12] = [
+        ("Scale",   "a[i] = scalar*a[i]",                     "1:1",   false, Suite::Stream,  1.0, 1.0),
+        ("Copy",    "b[i] = a[i]",                            "0:2",   true,  Suite::Stream,  0.0, 2.0),
+        ("Daxpy",   "b[i] = b[i] + scalar*a[i]",              "2:2",   true,  Suite::Stream,  2.0, 2.0),
+        ("Triad",   "c[i] = a[i] + scalar*b[i]",              "2:3",   true,  Suite::Stream,  2.0, 3.0),
+        ("Add",     "c[i] = a[i] + b[i]",                     "1:3",   true,  Suite::Stream,  1.0, 3.0),
+        ("BN_Fwd",  "Batch Normalization Forward Phase",      "7:3",   true,  Suite::App,     7.0, 3.0),
+        ("BN_Bwd",  "Batch Normalization Backward Phase",     "14:6",  true,  Suite::App,    14.0, 6.0),
+        ("FC",      "Fully Connected",                        "2:1",   false, Suite::App,     2.0, 1.0),
+        ("KMeans",  "KMeans Clustering",                      "10:1",  false, Suite::App,    10.0, 1.0),
+        ("SVM",     "Support Vector Machine",                 "2.5:2", true,  Suite::App,     2.5, 2.0),
+        ("Hist",    "Histogram",                              "3:2",   true,  Suite::App,     3.0, 2.0),
+        ("Gen_Fil", "Genomic Sequence Filtering (GRIM Algo)", "3:1",   false, Suite::App,     3.0, 1.0),
+    ];
+    assert_eq!(WorkloadId::ALL.len(), expected.len());
+    for (id, exp) in WorkloadId::ALL.iter().zip(expected.iter()) {
+        let m = id.meta();
+        let (c, mem) = id.spec().ops_per_stripe();
+        let actual = (m.name, m.description, m.ratio, m.multi_structure, m.suite, c, mem);
+        assert_eq!(actual, *exp, "{id:?}");
+    }
+}
