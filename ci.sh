@@ -26,15 +26,26 @@ cargo build --release
 echo "==> cargo test (workspace, tier 1)"
 cargo test --workspace -q
 
+# The tier-1 suite must be green under BOTH simulation cores: the
+# dense per-cycle loop and the event-driven time-skip core (see
+# DESIGN.md, "Quiescence contract"). The default run above already
+# covers the event core's default path; these pin each explicitly.
+echo "==> cargo test (workspace, tier 1, ORDERLIGHT_CORE=cycle)"
+ORDERLIGHT_CORE=cycle cargo test --workspace -q
+
+echo "==> cargo test (workspace, tier 1, ORDERLIGHT_CORE=event)"
+ORDERLIGHT_CORE=event cargo test --workspace -q
+
 if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
     echo "==> cargo test (tier 2: ignored full-figure sweeps)"
     cargo test --workspace -q -- --ignored
 fi
 
-# Serial-vs-parallel regression benchmark: re-runs every figure sweep
-# both ways in release mode and fails on any bit-level mismatch. The
-# JSON also records wall-clock, points/sec and speedup for the host.
-echo "==> orderlight bench --quick (parallel-sweep regression)"
+# Sweep regression benchmark: re-runs every figure sweep serial vs
+# parallel AND cycle-core vs event-core in release mode, failing on
+# any bit-level mismatch. The JSON also records wall-clock, points/sec
+# and per-figure event-core speedup for the host.
+echo "==> orderlight bench --quick (sweep + core regression)"
 ./target/release/orderlight bench --quick --out BENCH_sweep.json
 echo "    wrote BENCH_sweep.json"
 

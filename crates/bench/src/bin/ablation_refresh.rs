@@ -5,11 +5,13 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_sim::experiments::ablation_refresh_jobs;
+use orderlight_sim::core_select::core_from_process_args;
 use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
     let data = report_data_bytes();
     let jobs = jobs_from_process_args();
+    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
     println!(
         "DRAM refresh ablation, Add kernel, OrderLight, {} KiB/structure/channel\n",
         data / 1024

@@ -6,12 +6,14 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_sim::experiments::fig05_jobs;
+use orderlight_sim::core_select::core_from_process_args;
 use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{bar_chart, f3, format_table};
 
 fn main() {
     let data = report_data_bytes();
     let jobs = jobs_from_process_args();
+    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
     println!(
         "Figure 5 — fence overhead, vector_add (Add), BMF=16, {} KiB/structure/channel\n",
         data / 1024

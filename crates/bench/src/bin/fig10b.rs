@@ -3,6 +3,7 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_sim::experiments::fig10_jobs;
+use orderlight_sim::core_select::core_from_process_args;
 use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
@@ -13,6 +14,7 @@ type Cells = BTreeMap<(String, String), [Option<(f64, u64)>; 2]>;
 fn main() {
     let data = report_data_bytes();
     let jobs = jobs_from_process_args();
+    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
     println!(
         "Figure 10b — stream benchmark: execution time and core stall cycles, BMF=16, {} KiB/structure/channel\n",
         data / 1024

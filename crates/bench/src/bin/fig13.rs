@@ -3,6 +3,7 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_sim::experiments::fig13_jobs;
+use orderlight_sim::core_select::core_from_process_args;
 use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
@@ -10,6 +11,7 @@ use std::collections::BTreeMap;
 fn main() {
     let data = report_data_bytes();
     let jobs = jobs_from_process_args();
+    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
     println!("Figure 13 — BMF sweep, Add kernel, {} KiB/structure/channel\n", data / 1024);
     let rows = fig13_jobs(data, jobs).expect("figure 13 sweep");
     let mut cells: BTreeMap<(u32, String), [Option<f64>; 2]> = BTreeMap::new();

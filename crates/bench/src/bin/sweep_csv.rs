@@ -12,6 +12,7 @@
 
 use orderlight_bench::report_data_bytes;
 use orderlight_sim::experiments::{fig10_jobs, fig12_jobs, fig13_jobs, SweepPoint};
+use orderlight_sim::core_select::core_from_process_args;
 use orderlight_sim::pool::jobs_from_process_args;
 
 fn emit(rows: &[SweepPoint], figure: &str) {
@@ -37,6 +38,7 @@ fn emit(rows: &[SweepPoint], figure: &str) {
 fn main() {
     let data = report_data_bytes();
     let jobs = jobs_from_process_args();
+    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
     println!(
         "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified"
     );

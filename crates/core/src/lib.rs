@@ -41,6 +41,7 @@
 //! ```
 
 pub mod error;
+pub mod event;
 pub mod fsm;
 pub mod isa;
 pub mod mapping;
@@ -51,6 +52,7 @@ pub mod taxonomy;
 pub mod types;
 
 pub use error::{ConfigError, PacketError};
+pub use event::{min_horizon, NextEvent};
 pub use isa::{
     AluOp, InstrStream, KernelInstr, OrderingInstr, PimInstruction, PimOp, Reg, VecStream,
 };

@@ -96,6 +96,14 @@ impl OperandCollector {
         self.warp_counts.get(&warp).copied().unwrap_or(0)
     }
 
+    /// Exit deadline of the oldest resident entry, if any. Entries
+    /// leave in allocation order, so the head's deadline is the
+    /// collector's earliest possible state change (quiescence horizon).
+    #[must_use]
+    pub fn next_exit(&self) -> Option<CoreCycle> {
+        self.entries.front().map(|e| e.exit_at)
+    }
+
     /// Moves requests whose residency elapsed into the LDST queue, in
     /// order, while `accept` keeps taking them.
     pub fn drain(&mut self, now: CoreCycle, mut accept: impl FnMut(&MemReq) -> bool) {

@@ -16,7 +16,7 @@ use crate::warp::{Warp, WarpState};
 use orderlight::message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 use orderlight::packet::OrderLightPacket;
 use orderlight::types::CoreCycle;
-use orderlight::{KernelInstr, OrderingInstr};
+use orderlight::{min_horizon, KernelInstr, NextEvent, OrderingInstr};
 use orderlight_trace::{sink::nop_sink, InstrKind, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
@@ -92,6 +92,24 @@ impl SmStats {
             + self.structural_stall_cycles
             + self.credit_wait_cycles
     }
+}
+
+/// Why a ready warp's current instruction cannot issue this cycle.
+/// Shared between [`Sm::try_issue`] (which charges one cycle), the
+/// quiescence horizon (a warp with no blocker means "tick densely") and
+/// the closed-form skip charging — keeping the three bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallCause {
+    /// Out of sequence-number buffer credits.
+    CreditWait,
+    /// Operand collector or LDST queue full.
+    Structural,
+    /// OrderLight injection gated on the collector's PIM counter.
+    OlWait,
+    /// Fence draining the warp's requests out of the collector.
+    FenceDrain,
+    /// Register dependence on an outstanding load.
+    RegWait,
 }
 
 /// One streaming multiprocessor.
@@ -231,20 +249,83 @@ impl Sm {
         }
     }
 
+    /// The first blocker preventing warp `i`'s current instruction from
+    /// issuing, or `None` if it could issue right now. Read-only; the
+    /// check order matches [`try_issue`](Self::try_issue) exactly, which
+    /// is what makes per-cycle and closed-form stall charging agree. An
+    /// unfetched or exhausted stream reports no blocker — `try_issue`
+    /// resolves those by materialising the stream.
+    fn issue_block(&self, i: usize) -> Option<StallCause> {
+        let instr = self.warps[i].peek_current()?;
+        match instr {
+            KernelInstr::Pim(_) => {
+                if self.cfg.credits.is_some() && self.credits[i] == 0 {
+                    Some(StallCause::CreditWait)
+                } else if !self.oc.has_space() {
+                    Some(StallCause::Structural)
+                } else {
+                    None
+                }
+            }
+            KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
+                if self.oc.pim_count(self.warps[i].channel(), group) > 0 {
+                    Some(StallCause::OlWait)
+                } else if !self.ldst_has_space() {
+                    Some(StallCause::Structural)
+                } else {
+                    None
+                }
+            }
+            KernelInstr::Ordering(OrderingInstr::Fence) => {
+                if self.oc.warp_count(self.warps[i].id()) > 0 {
+                    Some(StallCause::FenceDrain)
+                } else if !self.ldst_has_space() {
+                    Some(StallCause::Structural)
+                } else {
+                    None
+                }
+            }
+            KernelInstr::Load { reg, .. } | KernelInstr::Store { reg, .. } => {
+                if self.warps[i].is_pending(reg) {
+                    Some(StallCause::RegWait)
+                } else if !self.oc.has_space() {
+                    Some(StallCause::Structural)
+                } else {
+                    None
+                }
+            }
+            KernelInstr::Compute { dst, a, b, .. } => {
+                let w = &self.warps[i];
+                if w.is_pending(a) || w.is_pending(b) || w.is_pending(dst) {
+                    Some(StallCause::RegWait)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Charges `cycles` of stall to the counter `cause` maps to.
+    fn charge(&mut self, cause: StallCause, cycles: u64) {
+        match cause {
+            StallCause::CreditWait => self.stats.credit_wait_cycles += cycles,
+            StallCause::Structural => self.stats.structural_stall_cycles += cycles,
+            StallCause::OlWait => self.stats.ol_wait_cycles += cycles,
+            StallCause::FenceDrain => self.stats.fence_stall_cycles += cycles,
+            StallCause::RegWait => self.stats.reg_wait_cycles += cycles,
+        }
+    }
+
     /// Attempts to issue the current instruction of warp `i`; returns
     /// whether an instruction issued.
     fn try_issue(&mut self, i: usize, now: CoreCycle) -> bool {
+        if let Some(cause) = self.issue_block(i) {
+            self.charge(cause, 1);
+            return false;
+        }
         let Some(instr) = self.warps[i].current() else { return false };
         match instr {
             KernelInstr::Pim(pim) => {
-                if self.cfg.credits.is_some() && self.credits[i] == 0 {
-                    self.stats.credit_wait_cycles += 1;
-                    return false;
-                }
-                if !self.oc.has_space() {
-                    self.stats.structural_stall_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
                 let key = (warp.channel(), pim.group);
@@ -260,14 +341,6 @@ impl Sm {
             }
             KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
                 let channel = self.warps[i].channel();
-                if self.oc.pim_count(channel, group) > 0 {
-                    self.stats.ol_wait_cycles += 1;
-                    return false;
-                }
-                if !self.ldst_has_space() {
-                    self.stats.structural_stall_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let id = warp.id();
                 let number = warp.next_ol_number(group);
@@ -295,14 +368,6 @@ impl Sm {
                 // left the operand collector, then sends the probe and
                 // stalls for the acknowledgement.
                 let id = self.warps[i].id();
-                if self.oc.warp_count(id) > 0 {
-                    self.stats.fence_stall_cycles += 1;
-                    return false;
-                }
-                if !self.ldst_has_space() {
-                    self.stats.structural_stall_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let channel = warp.channel();
                 let fence_id = warp.enter_fence();
@@ -324,14 +389,6 @@ impl Sm {
                 true
             }
             KernelInstr::Load { addr, reg } => {
-                if self.warps[i].is_pending(reg) {
-                    self.stats.reg_wait_cycles += 1;
-                    return false;
-                }
-                if !self.oc.has_space() {
-                    self.stats.structural_stall_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
                 let id = warp.id();
@@ -343,11 +400,6 @@ impl Sm {
                 true
             }
             KernelInstr::Compute { op, dst, a, b } => {
-                let warp = &self.warps[i];
-                if warp.is_pending(a) || warp.is_pending(b) || warp.is_pending(dst) {
-                    self.stats.reg_wait_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let id = warp.id();
                 let result = op.apply(warp.read_reg(a), warp.read_reg(b));
@@ -358,14 +410,6 @@ impl Sm {
                 true
             }
             KernelInstr::Store { addr, reg } => {
-                if self.warps[i].is_pending(reg) {
-                    self.stats.reg_wait_cycles += 1;
-                    return false;
-                }
-                if !self.oc.has_space() {
-                    self.stats.structural_stall_cycles += 1;
-                    return false;
-                }
                 let warp = &mut self.warps[i];
                 let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
                 let id = warp.id();
@@ -442,6 +486,66 @@ impl Sm {
                 }
             }
         }
+    }
+
+    /// Advances the SM across a quiescent window of `span` cycles — one
+    /// in which [`tick`](Self::tick) would issue nothing and drain
+    /// nothing. Per-cycle effects are applied in closed form: every
+    /// fence-parked warp and every blocked ready warp charges its stall
+    /// counter for the whole span (the blocker cannot change inside the
+    /// window — every unblock source is itself a horizon event), and
+    /// the round-robin pointer advances once per skipped cycle.
+    ///
+    /// # Panics
+    /// Panics if a ready warp could in fact issue — the caller skipped
+    /// across activity, which violates the quiescence contract.
+    pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
+        self.cur_cycle = now + span - 1;
+        for i in 0..self.warps.len() {
+            match self.warps[i].state() {
+                WarpState::WaitFence { .. } => self.stats.fence_stall_cycles += span,
+                WarpState::Ready => {
+                    let cause = self
+                        .issue_block(i)
+                        .expect("quiescent window skipped across an issuable warp");
+                    self.charge(cause, span);
+                }
+                WarpState::Done => {}
+            }
+        }
+        let n = self.warps.len().max(1);
+        self.rr = (self.rr + (span % n as u64) as usize) % n;
+    }
+}
+
+/// Quiescence horizon of an SM. `Some(now)` whenever the SM could act
+/// this cycle: the collector head can drain into a non-full LDST queue,
+/// or some ready warp has no blocker (or an unfetched stream — fetching
+/// could surface anything, so it is ticked densely). Otherwise the only
+/// self-driven future event is the collector head's exit deadline;
+/// fence acks, load data, credits and LDST drainage all arrive from
+/// outside and are advertised by the components that produce them.
+impl NextEvent for Sm {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let mut h = None;
+        if let Some(exit) = self.oc.next_exit() {
+            if exit > now {
+                h = min_horizon(h, Some(exit));
+            } else if self.ldst_has_space() {
+                return Some(now);
+            }
+            // Ready head into a full LDST queue: unblocked by the
+            // system's LDST-to-pipe pairing, not by this SM.
+        }
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.state() != WarpState::Ready {
+                continue;
+            }
+            if w.needs_fetch() || self.issue_block(i).is_none() {
+                return Some(now);
+            }
+        }
+        h
     }
 }
 

@@ -89,6 +89,22 @@ impl Warp {
         self.cur
     }
 
+    /// The already-fetched head instruction, without materialising the
+    /// next one — the `&self` peek the quiescence horizon needs.
+    #[must_use]
+    pub fn peek_current(&self) -> Option<KernelInstr> {
+        self.cur
+    }
+
+    /// Whether the head of the stream has not been fetched yet. The
+    /// horizon treats such a warp conservatively (tick it densely):
+    /// fetching could surface any instruction, including one that can
+    /// issue immediately.
+    #[must_use]
+    pub fn needs_fetch(&self) -> bool {
+        self.cur.is_none() && !self.exhausted
+    }
+
     /// Consumes the current instruction after a successful issue.
     ///
     /// # Panics

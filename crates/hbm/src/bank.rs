@@ -8,6 +8,7 @@
 use crate::command::ColKind;
 use crate::timing::TimingParams;
 use orderlight::types::MemCycle;
+use orderlight::NextEvent;
 
 /// Row state of one bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +195,31 @@ impl Bank {
     #[must_use]
     pub fn col_accesses(&self) -> u64 {
         self.col_accesses
+    }
+
+    /// Earliest cycle a PRE may legally issue (absolute timestamp; the
+    /// refresh-horizon computation needs it for open banks).
+    #[must_use]
+    pub fn next_precharge_at(&self) -> MemCycle {
+        self.next_pre
+    }
+}
+
+/// Quiescence horizon of a bank: the earliest cycle a currently-blocked
+/// DRAM command to this bank could become legal. A bank never acts on
+/// its own, so this is never `None` — the controller layer converts
+/// "no work queued" into idleness; the bank only answers "when would a
+/// scheduler retry be worth it".
+impl NextEvent for Bank {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        match self.state {
+            // Closed: only an ACT applies, legal once tRC/tRP elapse.
+            BankState::Closed => Some(now.max(self.next_act)),
+            // Open: a column or PRE applies; earliest expiring timer.
+            BankState::Open { .. } => {
+                Some(now.max(self.next_rd.min(self.next_wr).min(self.next_pre)))
+            }
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use crate::command::{ColKind, DramCommand};
 use crate::storage::FunctionalStore;
 use crate::timing::TimingParams;
 use orderlight::types::{BankId, MemCycle, Stripe};
+use orderlight::{min_horizon, NextEvent};
 use orderlight_trace::{sink::nop_sink, DramCmdKind, SharedSink, TraceEvent};
 
 /// All-bank refresh parameters (values in memory cycles).
@@ -323,6 +324,43 @@ impl Channel {
     /// Mutable access to the functional store.
     pub fn store_mut(&mut self) -> &mut FunctionalStore {
         &mut self.store
+    }
+
+    /// Earliest future cycle at which [`maintain`](Self::maintain) can
+    /// change observable state — i.e. actually perform an all-bank
+    /// refresh. `None` when refresh is disabled (maintain is then a
+    /// no-op forever). A due refresh waits for every open bank's tRAS /
+    /// write-to-precharge window, so the trigger is the latest
+    /// `next_pre` among open banks, but never earlier than `now`. The
+    /// lazy clearing of a finished refresh window is not an event: it
+    /// changes nothing observable on its own.
+    #[must_use]
+    pub fn next_refresh_event(&self, now: MemCycle) -> Option<MemCycle> {
+        self.refresh?;
+        let blocked = self
+            .banks
+            .iter()
+            .filter(|b| b.open_row().is_some())
+            .map(Bank::next_precharge_at)
+            .max()
+            .unwrap_or(0);
+        Some(self.refresh_due.max(blocked).max(now))
+    }
+}
+
+/// Quiescence horizon of a channel: the earliest cycle at which either
+/// a blocked DRAM command could become legal on some bank (clamped past
+/// an in-progress refresh window) or the next all-bank refresh fires.
+/// Like [`Bank`], a channel with refresh disabled still answers
+/// `Some(..)` — only the controller knows whether work is queued.
+impl NextEvent for Channel {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let cmd = self.banks.iter().filter_map(|b| b.next_event(now)).min();
+        let cmd = cmd.map(|c| match self.refresh_until {
+            Some(until) if until > now && c < until => until,
+            _ => c,
+        });
+        min_horizon(cmd, self.next_refresh_event(now))
     }
 }
 

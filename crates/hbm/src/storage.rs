@@ -58,6 +58,16 @@ impl FunctionalStore {
         }
     }
 
+    /// All materialised rows in `(bank, row)` order — a deterministic
+    /// whole-store view for byte-level comparison of two stores (the
+    /// cycle-vs-event differential tests).
+    #[must_use]
+    pub fn rows_sorted(&self) -> Vec<((BankId, u32), &[u8])> {
+        let mut v: Vec<_> = self.rows.iter().map(|(k, d)| (*k, d.as_slice())).collect();
+        v.sort_unstable_by_key(|((bank, row), _)| (bank.0, *row));
+        v
+    }
+
     /// Writes the stripe at `(bank, row, col)`.
     ///
     /// # Panics

@@ -8,7 +8,7 @@ use orderlight::fsm::diverge;
 use orderlight::mapping::{AddressMapping, GroupMap};
 use orderlight::message::{Marker, MemReq, MemResp};
 use orderlight::types::{BankId, MemCycle};
-use orderlight::PimOp;
+use orderlight::{NextEvent, PimOp};
 use orderlight_hbm::{Channel, ColKind, DramCommand, NeededCommand};
 use orderlight_pim::PimUnit;
 use orderlight_trace::{sink::nop_sink, DramCmdKind, SchedSide, SharedSink, TraceEvent};
@@ -187,6 +187,10 @@ pub struct MemoryController {
     read_q: TransQueue,
     write_q: TransQueue,
     bank_q: Vec<VecDeque<Transaction>>,
+    /// Total transactions across all of `bank_q` — kept so the idle
+    /// check the event core's horizon makes every hop is O(1), not a
+    /// scan over every bank's queue.
+    bank_queued: usize,
     exec_q: VecDeque<Transaction>,
     ordering: GroupOrdering,
     fences: FenceTracker,
@@ -213,6 +217,7 @@ impl MemoryController {
             read_q: TransQueue::new(cfg.queue_capacity),
             write_q: TransQueue::new(cfg.queue_capacity),
             bank_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            bank_queued: 0,
             exec_q: VecDeque::new(),
             ordering: GroupOrdering::new(),
             fences: FenceTracker::new(),
@@ -500,6 +505,7 @@ impl MemoryController {
                 Some(loc) => {
                     let txn = Transaction { kind, loc, group: p.group, meta, arrival: p.arrival };
                     self.bank_q[loc.bank.index()].push_back(txn);
+                    self.bank_queued += 1;
                 }
                 None => {
                     // Execute-only PIM command: no DRAM access. `loc` is a
@@ -649,6 +655,7 @@ impl MemoryController {
             let issued = self.channel.try_issue(DramCommand::column(bank, kind), now);
             debug_assert!(issued, "pick_bank checked legality");
             let txn = self.bank_q[bank.index()].pop_front().expect("head exists");
+            self.bank_queued -= 1;
             self.complete(txn, now);
             return;
         }
@@ -715,13 +722,51 @@ impl MemoryController {
         std::mem::take(&mut self.out)
     }
 
+    /// Advances the controller across `ticks` quiescent memory cycles
+    /// starting at `now` — cycles in which [`tick`](Self::tick) would
+    /// find the controller idle and change nothing beyond per-cycle
+    /// bookkeeping. Replays that bookkeeping in closed form: the
+    /// occupancy integrals (at occupancy zero), the write-drain
+    /// hysteresis (which re-evaluates an empty queue every cycle), and
+    /// the arrival stamp used for requests pushed between memory ticks.
+    ///
+    /// The caller must not skip across a refresh trigger;
+    /// [`Channel::next_refresh_event`] is a horizon event precisely so
+    /// the cycle that performs a refresh is ticked densely.
+    pub fn skip_ticks(&mut self, now: MemCycle, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        debug_assert!(self.is_idle(), "skip_ticks on an active controller");
+        debug_assert!(
+            self.channel.next_refresh_event(now).is_none_or(|due| due >= now + ticks),
+            "skip_ticks window crosses a refresh trigger"
+        );
+        self.arrival_cycle = now + ticks - 1;
+        self.read_q.record_ticks(ticks);
+        self.write_q.record_ticks(ticks);
+        // dequeue_phase re-runs the hysteresis comparison every cycle
+        // even when both queues are empty; one evaluation at the final
+        // occupancy is equivalent for a window in which it is constant.
+        if self.write_q.fill_fraction() >= self.cfg.write_drain_high {
+            self.draining_writes = true;
+        } else if self.write_q.fill_fraction() <= self.cfg.write_drain_low {
+            self.draining_writes = false;
+        }
+    }
+
     /// Whether all queues, command queues and ordering state are drained.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.read_q.is_empty()
+        debug_assert_eq!(
+            self.bank_queued,
+            self.bank_q.iter().map(VecDeque::len).sum::<usize>(),
+            "bank_queued counter out of sync"
+        );
+        self.bank_queued == 0
+            && self.read_q.is_empty()
             && self.write_q.is_empty()
             && self.exec_q.is_empty()
-            && self.bank_q.iter().all(VecDeque::is_empty)
             && self.fences.pending() == 0
             && self.ordering.is_idle()
             && self.out.is_empty()
@@ -756,6 +801,31 @@ impl MemoryController {
     #[must_use]
     pub fn mean_queue_occupancy(&self) -> (f64, f64) {
         (self.read_q.mean_occupancy(), self.write_q.mean_occupancy())
+    }
+}
+
+/// Quiescence horizon in *memory* cycles. An active controller (any
+/// queue non-empty, fences pending, ordering state live, or responses
+/// buffered) reports `Some(now)`: its tick loop makes scheduling
+/// decisions every cycle and must run densely. A closed-page
+/// controller with a row still open also reports `Some(now)` — the
+/// eager precharge scan in the issue phase retries every cycle until
+/// the row closes. An idle controller's only future event is the
+/// channel's refresh trigger; with refresh disabled it is fully
+/// drained (`None`).
+impl NextEvent for MemoryController {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.is_idle() {
+            return Some(now);
+        }
+        if self.cfg.page_policy == PagePolicy::Closed {
+            let any_open = (0..self.bank_q.len())
+                .any(|b| self.channel.bank(BankId(b as u8)).open_row().is_some());
+            if any_open {
+                return Some(now);
+            }
+        }
+        self.channel.next_refresh_event(now)
     }
 }
 

@@ -35,6 +35,10 @@ struct Barrier {
 #[derive(Debug, Clone)]
 pub struct GroupOrdering {
     inflight: [u64; MAX_GROUPS],
+    /// Sum of `inflight` — kept so [`GroupOrdering::is_idle`] (on the
+    /// event core's per-hop horizon path) is O(1) instead of a scan
+    /// over every group.
+    inflight_total: u64,
     barriers: Vec<Barrier>,
     merge: MergeFsm,
     last_number: [Option<u32>; MAX_GROUPS],
@@ -49,6 +53,7 @@ impl GroupOrdering {
     pub fn new() -> Self {
         GroupOrdering {
             inflight: [0; MAX_GROUPS],
+            inflight_total: 0,
             barriers: Vec::new(),
             merge: MergeFsm::new(),
             last_number: [None; MAX_GROUPS],
@@ -69,6 +74,7 @@ impl GroupOrdering {
     /// queue.
     pub fn on_dequeue(&mut self, group: MemGroupId) {
         self.inflight[group.index()] += 1;
+        self.inflight_total += 1;
     }
 
     /// Records a request of `group` being issued to the DRAM (or, for an
@@ -78,6 +84,7 @@ impl GroupOrdering {
         let g = group.index();
         debug_assert!(self.inflight[g] > 0, "issue without matching dequeue");
         self.inflight[g] -= 1;
+        self.inflight_total -= 1;
         let bit = 1u16 << group.0;
         for b in &mut self.barriers {
             if b.mask & bit != 0 {
@@ -150,9 +157,12 @@ impl GroupOrdering {
     /// partial merges).
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.barriers.is_empty()
-            && self.inflight.iter().all(|c| *c == 0)
-            && self.merge.pending() == 0
+        debug_assert_eq!(
+            self.inflight_total,
+            self.inflight.iter().sum::<u64>(),
+            "inflight_total counter out of sync"
+        );
+        self.barriers.is_empty() && self.inflight_total == 0 && self.merge.pending() == 0
     }
 }
 

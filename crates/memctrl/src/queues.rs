@@ -113,8 +113,16 @@ impl TransQueue {
 
     /// Records one cycle of occupancy statistics.
     pub fn record_tick(&mut self) {
-        self.occupancy_integral += self.entries.len() as u64;
-        self.ticks += 1;
+        self.record_ticks(1);
+    }
+
+    /// Records `n` cycles of occupancy statistics at the current
+    /// occupancy in one step — the event core's closed-form equivalent
+    /// of `n` calls to [`record_tick`](Self::record_tick) across a
+    /// window in which the queue does not change.
+    pub fn record_ticks(&mut self, n: u64) {
+        self.occupancy_integral += self.entries.len() as u64 * n;
+        self.ticks += n;
     }
 
     /// Mean occupancy over recorded ticks.

@@ -1,6 +1,7 @@
 //! A bounded FIFO queue with a fixed traversal latency.
 
 use orderlight::types::CoreCycle;
+use orderlight::NextEvent;
 use std::collections::VecDeque;
 
 /// A FIFO whose items become visible `latency` cycles after being pushed.
@@ -78,6 +79,24 @@ impl<T> DelayQueue<T> {
         } else {
             None
         }
+    }
+
+    /// The cycle the head item becomes (or became) poppable, if any.
+    /// Items behind the head never matter: FIFO order means the head's
+    /// deadline is the queue's earliest possible state change.
+    #[must_use]
+    pub fn next_ready(&self) -> Option<CoreCycle> {
+        self.items.front().map(|(ready, _)| *ready)
+    }
+}
+
+/// Quiescence horizon of a delay queue: the head's ready deadline
+/// (clamped to `now` — an already-ready head is consumable immediately,
+/// the queue cannot know whether downstream will take it). Empty means
+/// drained.
+impl<T> NextEvent for DelayQueue<T> {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.next_ready().map(|ready| ready.max(now))
     }
 }
 

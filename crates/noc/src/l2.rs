@@ -12,6 +12,7 @@
 use crate::delay_queue::DelayQueue;
 use orderlight::fsm::diverge;
 use orderlight::message::{Marker, MarkerCopy, MemReq};
+use orderlight::min_horizon;
 use orderlight::types::{CoreCycle, GlobalWarpId};
 
 /// Number of sub-partitions per L2 slice.
@@ -175,6 +176,54 @@ impl L2Slice {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.subs.iter().all(DelayQueue::is_empty)
+    }
+
+    /// Whether every sub-partition's ready head is a marker copy — the
+    /// exact condition under which [`tick`](Self::tick) takes the merge
+    /// branch and skips the round-robin pointer advance.
+    fn merge_branch(&self, now: CoreCycle) -> bool {
+        self.subs.iter().all(|s| matches!(s.peek_ready(now), Some(MemReq::Marker(_))))
+    }
+
+    /// Quiescence horizon of the slice given its output queue: `now` if
+    /// a merge or forward could happen this cycle, otherwise the
+    /// earliest not-yet-ready sub-partition head deadline. A head that
+    /// is ready but blocked (marker waiting for its sibling copy, or
+    /// `out` full) contributes no event of its own — its unblocking is
+    /// some *other* component's advertised event.
+    #[must_use]
+    pub fn next_event(&self, now: CoreCycle, out: &DelayQueue<MemReq>) -> Option<CoreCycle> {
+        if out.has_space() {
+            if self.merge_branch(now) {
+                return Some(now);
+            }
+            if self
+                .subs
+                .iter()
+                .any(|s| matches!(s.peek_ready(now), Some(r) if !matches!(r, MemReq::Marker(_))))
+            {
+                return Some(now);
+            }
+        }
+        let mut h = None;
+        for s in &self.subs {
+            if s.peek_ready(now).is_none() {
+                h = min_horizon(h, s.next_ready());
+            }
+        }
+        h
+    }
+
+    /// Advances the slice across a quiescent window of `span` cycles —
+    /// one in which [`tick`](Self::tick) would not move any traffic.
+    /// The only per-cycle state is the round-robin pointer: the dense
+    /// loop advances it every tick *except* when the merge branch runs,
+    /// and the branch condition is frozen across the window (head
+    /// readiness transitions are themselves horizon events).
+    pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
+        if !self.merge_branch(now) {
+            self.rr = (self.rr + span as usize % SUB_PARTITIONS) % SUB_PARTITIONS;
+        }
     }
 
     /// Completed marker merges.

@@ -5,6 +5,7 @@ use crate::delay_queue::DelayQueue;
 use crate::l2::L2Slice;
 use orderlight::message::{MemReq, MemResp};
 use orderlight::types::CoreCycle;
+use orderlight::{min_horizon, NextEvent};
 
 /// Memory-pipe latencies and capacities (core-clock cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +173,39 @@ impl MemoryPipe {
     #[must_use]
     pub fn l2_merges(&self) -> u64 {
         self.l2.merges()
+    }
+
+    /// Advances the pipe across a quiescent window of `span` cycles
+    /// (one in which [`tick`](Self::tick) would move no traffic). The
+    /// delay queues store absolute ready stamps, so only the L2 slice's
+    /// round-robin pointer needs closed-form advancement.
+    pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
+        self.l2.skip_quiescent(now, span);
+    }
+}
+
+/// Quiescence horizon of the whole pipe. `Some(now)` when any internal
+/// transfer could happen this cycle (interconnect head into a willing
+/// L2, an L2 merge or forward into a non-full out queue); otherwise the
+/// earliest head deadline among the stage queues. The L2-out and
+/// response heads are clamped to `now`: a ready out head is either
+/// consumable by the controller (the system pairs `peek_mc` with
+/// `can_accept`) or the controller is active and forces dense ticking
+/// anyway, and a ready response head is always deliverable.
+impl NextEvent for MemoryPipe {
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let mut h = None;
+        match self.icnt.peek_ready(now) {
+            Some(head) if self.l2.can_accept(head) => return Some(now),
+            // Ready but blocked: the sub-partition that refuses it is
+            // non-empty, so its own head deadline covers the unblocking.
+            Some(_) => {}
+            None => h = min_horizon(h, self.icnt.next_ready()),
+        }
+        h = min_horizon(h, self.l2.next_event(now, &self.out));
+        h = min_horizon(h, self.out.next_ready().map(|r| r.max(now)));
+        h = min_horizon(h, self.ret.next_ready().map(|r| r.max(now)));
+        h
     }
 }
 

@@ -232,6 +232,28 @@ pub fn fig05_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
     points
 }
 
+/// Enumerates the fence-heavy stress series: every streaming kernel
+/// under the traditional fence at TS = 1/16 RB — the finest tile size,
+/// where a fence round trip punctuates every 128 B tile and cores
+/// spend most cycles stalled (the paper's worst case, Figure 5's
+/// leftmost fence bar). This is the event core's best case, so
+/// `orderlight bench` reports its cycle-vs-event speedup as a series
+/// of its own.
+#[must_use]
+pub fn fence_heavy_points(data_bytes_per_channel: u64) -> Vec<JobSpec> {
+    [WorkloadId::Scale, WorkloadId::Copy, WorkloadId::Daxpy, WorkloadId::Triad, WorkloadId::Add]
+        .into_iter()
+        .map(|w| {
+            JobSpec::new(
+                w,
+                TsSize::Sixteenth,
+                ExecMode::Pim(OrderingMode::Fence),
+                data_bytes_per_channel,
+            )
+        })
+        .collect()
+}
+
 /// Figure 5, executed across `jobs` workers.
 ///
 /// # Errors

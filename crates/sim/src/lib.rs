@@ -20,6 +20,7 @@
 //! bit-identical to the serial loop at any worker count.
 
 pub mod config;
+pub mod core_select;
 pub mod experiments;
 pub mod pool;
 pub mod report;
@@ -27,6 +28,7 @@ pub mod stats;
 pub mod system;
 
 pub use config::{ExecMode, ExperimentConfig, SystemConfig};
+pub use core_select::SimCore;
 pub use pool::Pool;
 pub use stats::RunStats;
 pub use system::System;

@@ -1,9 +1,16 @@
 //! System assembly and the dual-clock simulation loop.
+//!
+//! [`System::run`] executes on one of two bit-identical cores (see
+//! `DESIGN.md`, "Quiescence contract"): the dense [`System::step_cycle`]
+//! loop, or the event-driven [`System::step_skip`] loop that asks every
+//! component for its [`orderlight::NextEvent`] horizon and jumps the
+//! clocks straight to the global minimum.
 
 use crate::config::{ExecMode, ExperimentConfig};
+use crate::core_select::{resolve_core, SimCore};
 use crate::stats::RunStats;
 use orderlight::types::{ChannelId, CoreCycle, GlobalWarpId, MemCycle};
-use orderlight::{ConfigError, InstrStream, MemReq};
+use orderlight::{min_horizon, ConfigError, InstrStream, MemReq, NextEvent};
 use orderlight_gpu::{Sm, SmStats, Warp};
 use orderlight_hbm::Channel;
 use orderlight_memctrl::{McConfig, McStats, MemoryController};
@@ -55,6 +62,10 @@ pub struct System {
     clock_acc: u64,
     core_hz: u64,
     mem_hz: u64,
+    /// A live trace sink is attached: sinks observe per-cycle detail
+    /// (queue samples, retire scans), so `run` falls back to the dense
+    /// core regardless of the selected one.
+    traced: bool,
 }
 
 impl System {
@@ -194,6 +205,7 @@ impl System {
             now: 0,
             mem_now: 0,
             clock_acc: 0,
+            traced: false,
         })
     }
 
@@ -203,6 +215,7 @@ impl System {
     /// The default sink is [`orderlight_trace::NopSink`], which costs a
     /// single `is_enabled()` check per would-be event.
     pub fn attach_sink(&mut self, sink: orderlight_trace::SharedSink) {
+        self.traced = self.traced || sink.is_enabled();
         for sm in &mut self.sms {
             sm.set_sink(sink.clone());
         }
@@ -267,8 +280,8 @@ impl System {
         }
     }
 
-    /// Advances the whole system one core clock cycle.
-    pub fn step(&mut self) {
+    /// Advances the whole system one core clock cycle — the dense core.
+    pub fn step_cycle(&mut self) {
         let now = self.now;
 
         // 1. SMs issue.
@@ -325,6 +338,116 @@ impl System {
         self.now += 1;
     }
 
+    /// Maps a memory-domain event at mem cycle `m` to the core cycle
+    /// whose [`step_cycle`](Self::step_cycle) executes that memory tick.
+    /// The dense loop runs the accumulated mem ticks of core step `s`
+    /// (counting from 1) when `(clock_acc + s*mem_hz) / core_hz` first
+    /// covers them, so the smallest such `s` inverts the accumulator in
+    /// closed form.
+    fn core_cycle_for_mem_event(&self, m: MemCycle) -> CoreCycle {
+        debug_assert!(m >= self.mem_now, "memory events cannot be in the past");
+        let needed = u128::from(m - self.mem_now + 1) * u128::from(self.core_hz);
+        let num = needed - u128::from(self.clock_acc);
+        let s = num.div_ceil(u128::from(self.mem_hz)) as u64;
+        debug_assert!(s >= 1, "clock_acc stays below core_hz");
+        self.now + s - 1
+    }
+
+    /// The global quiescence horizon in core cycles: the earliest cycle
+    /// at which *any* component could change state, or `None` if every
+    /// component is drained. `Some(now)` forces a dense step. Two
+    /// cross-component transfers have no single owner and are paired
+    /// here: an SM's LDST head entering a pipe with space, and a pipe's
+    /// ready out-head entering a willing controller.
+    fn horizon(&self) -> Option<CoreCycle> {
+        let now = self.now;
+        let mut h = None;
+        // Cheapest sources first: any `Some(now)` ends the scan, and the
+        // controllers' idle checks are O(1) while the SM scan walks every
+        // warp. An active controller maps to `now` or `now + 1`.
+        for mc in &self.mcs {
+            if let Some(m) = mc.next_event(self.mem_now) {
+                let at = self.core_cycle_for_mem_event(m);
+                if at == now {
+                    return Some(now);
+                }
+                h = min_horizon(h, Some(at));
+            }
+        }
+        for (ch, pipe) in self.pipes.iter().enumerate() {
+            if let Some(head) = pipe.peek_mc(now) {
+                if self.mcs[ch].can_accept(head) {
+                    return Some(now);
+                }
+                // Refusing controller is active and reports Some(mem_now).
+            }
+            match pipe.next_event(now) {
+                Some(at) if at == now => return Some(now),
+                at => h = min_horizon(h, at),
+            }
+        }
+        for sm in &self.sms {
+            if let Some(head) = sm.peek_ldst() {
+                if self.pipes[self.channel_of(head).index()].can_push() {
+                    return Some(now);
+                }
+                // Blocked head: the full pipe's own queues advertise
+                // when space opens up.
+            }
+            match sm.next_event(now) {
+                Some(at) if at == now => return Some(now),
+                at => h = min_horizon(h, at),
+            }
+        }
+        h
+    }
+
+    /// Jumps every clock forward `span` quiescent core cycles, charging
+    /// per-cycle bookkeeping (stall counters, occupancy integrals,
+    /// round-robin pointers) in closed form. The caller guarantees no
+    /// component's horizon falls inside the window.
+    fn skip_span(&mut self, span: u64) {
+        let now = self.now;
+        for sm in &mut self.sms {
+            sm.skip_quiescent(now, span);
+        }
+        for pipe in &mut self.pipes {
+            pipe.skip_quiescent(now, span);
+        }
+        let total = u128::from(self.clock_acc) + u128::from(span) * u128::from(self.mem_hz);
+        let ticks = (total / u128::from(self.core_hz)) as u64;
+        self.clock_acc = (total % u128::from(self.core_hz)) as u64;
+        for mc in &mut self.mcs {
+            mc.skip_ticks(self.mem_now, ticks);
+        }
+        self.mem_now += ticks;
+        self.now += span;
+    }
+
+    /// Advances the system by one *hop* of the event core: a dense step
+    /// when some component can act this cycle, otherwise a closed-form
+    /// jump to the global horizon (clamped to `max_core_cycles` so the
+    /// cycle-budget error fires at the same cycle as the dense core's).
+    /// A system with no future event at all (a deadlock the budget will
+    /// catch) burns the remaining budget in one jump.
+    pub fn step_skip(&mut self, max_core_cycles: u64) {
+        let target = match self.horizon() {
+            Some(h) if h > self.now => h.min(max_core_cycles),
+            Some(_) => {
+                self.step_cycle();
+                return;
+            }
+            None => max_core_cycles,
+        };
+        if target > self.now {
+            self.skip_span(target - self.now);
+        } else {
+            // Horizon clamped below a single step: fall back to dense so
+            // the loop always makes progress.
+            self.step_cycle();
+        }
+    }
+
     /// Whether every warp retired and the memory system is drained.
     pub fn is_done(&mut self) -> bool {
         self.sms.iter_mut().all(Sm::is_done)
@@ -358,13 +481,30 @@ impl System {
         (matches, mismatches)
     }
 
-    /// Runs to completion (at most `max_core_cycles`), then verifies and
-    /// aggregates statistics.
+    /// Runs to completion (at most `max_core_cycles`) on the core
+    /// selected by [`resolve_core`] (the `ORDERLIGHT_CORE` environment
+    /// variable or process override; the event core by default), then
+    /// verifies and aggregates statistics.
     ///
     /// # Errors
     /// Returns [`SimError`] if the system has not drained within the
     /// budget — a deadlock or a budget that is simply too small.
     pub fn run(&mut self, max_core_cycles: u64) -> Result<RunStats, SimError> {
+        self.run_with(max_core_cycles, resolve_core(None))
+    }
+
+    /// Runs to completion on an explicitly chosen core. The two cores
+    /// are bit-identical (enforced by `tests/core_equivalence.rs`); a
+    /// system with a live trace sink always runs dense, because sinks
+    /// observe per-cycle detail the event core does not replay. The run
+    /// stops at the exact drain cycle — completion is checked every
+    /// step, so `RunStats::core_cycles` never overshoots.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the system has not drained within the
+    /// budget — a deadlock or a budget that is simply too small.
+    pub fn run_with(&mut self, max_core_cycles: u64, core: SimCore) -> Result<RunStats, SimError> {
+        let core = if self.traced { SimCore::Cycle } else { core };
         while !self.is_done() {
             if self.now >= max_core_cycles {
                 return Err(SimError::new(format!(
@@ -372,10 +512,9 @@ impl System {
                     self.now, self.exp.workload, self.exp.mode
                 )));
             }
-            // Check completion only every so often once running: stepping
-            // in small batches amortises the done-scan.
-            for _ in 0..64 {
-                self.step();
+            match core {
+                SimCore::Cycle => self.step_cycle(),
+                SimCore::Event => self.step_skip(max_core_cycles),
             }
         }
         Ok(self.collect())
@@ -552,7 +691,7 @@ mod tests {
             System::build(small_exp(WorkloadId::Scale, ExecMode::Pim(OrderingMode::OrderLight)))
                 .unwrap();
         for _ in 0..120_000 {
-            sys.step();
+            sys.step_cycle();
         }
         let expected = sys.now() as f64 * 850.0 / 1200.0;
         let got = sys.mem_now() as f64;

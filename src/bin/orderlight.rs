@@ -10,6 +10,11 @@
 //! orderlight taxonomy
 //! ```
 //!
+//! Every subcommand also accepts `--core cycle|event` (default: event,
+//! or `ORDERLIGHT_CORE`), selecting the dense per-cycle simulation core
+//! or the bit-identical event-driven time-skip core (see `DESIGN.md`,
+//! "Quiescence contract"). Traced runs always use the dense core.
+//!
 //! Examples:
 //!
 //! ```text
@@ -33,14 +38,17 @@
 //! `bench` times the same sweep serially and in parallel, verifies the
 //! two result sets are bit-identical, prints wall-clock/points-per-sec/
 //! speedup, and writes a machine-readable `BENCH_sweep.json` so the
-//! perf trajectory of the sweep engine is recorded over time. Exits
-//! non-zero on any parallel/serial mismatch.
+//! perf trajectory of the sweep engine is recorded over time. It also
+//! times every figure under the cycle core and the event core and
+//! cross-checks them point by point. Exits non-zero on any
+//! parallel/serial or cycle/event mismatch.
 
 use orderlight_suite::pim::TsSize;
 use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
+use orderlight_suite::sim::core_select::{set_core_override, take_core_flag, SimCore};
 use orderlight_suite::sim::experiments::{
-    apply_sm_policy, fig05_points, fig10_points, fig12_points, fig13_points, run_experiment,
-    run_experiment_traced, run_points, run_points_serial, JobSpec, SweepPoint,
+    apply_sm_policy, fence_heavy_points, fig05_points, fig10_points, fig12_points, fig13_points,
+    run_experiment, run_experiment_traced, run_points, run_points_serial, JobSpec, SweepPoint,
 };
 use orderlight_suite::sim::pool::{available_jobs, take_jobs_flag, Pool};
 use orderlight_suite::sim::report::bar_chart;
@@ -56,7 +64,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event)"
     );
     ExitCode::from(2)
 }
@@ -590,34 +598,105 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One figure's cycle-core-vs-event-core serial timing.
+struct CoreBench {
+    figure: &'static str,
+    points: usize,
+    cycle_s: f64,
+    event_s: f64,
+}
+
+impl CoreBench {
+    fn rate(points: usize, secs: f64) -> f64 {
+        if secs > 0.0 {
+            points as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Event-core speedup over the cycle core (wall-clock ratio).
+    fn speedup(&self) -> f64 {
+        if self.event_s > 0.0 {
+            self.cycle_s / self.event_s
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"figure\": \"{}\", \"points\": {}, \"cycle_seconds\": {:.6}, \"event_seconds\": {:.6}, \"cycle_points_per_sec\": {:.3}, \"event_points_per_sec\": {:.3}, \"event_speedup\": {:.3}}}",
+            self.figure,
+            self.points,
+            self.cycle_s,
+            self.event_s,
+            Self::rate(self.points, self.cycle_s),
+            Self::rate(self.points, self.event_s),
+            self.speedup(),
+        )
+    }
+}
+
+/// Times one figure's sweep serially under each core and cross-checks
+/// the two result sets point by point. Leaves the process core override
+/// on whatever core ran last; the caller restores it.
+fn bench_figure_cores(
+    figure: &'static str,
+    specs: &[JobSpec],
+) -> Result<(CoreBench, bool), ExitCode> {
+    let leg = |core: SimCore| {
+        set_core_override(Some(core));
+        let t = std::time::Instant::now();
+        let rows = run_points_serial(specs).map_err(|e| {
+            eprintln!("{figure} {}-core sweep failed: {e}", core.as_str());
+            ExitCode::FAILURE
+        })?;
+        Ok::<_, ExitCode>((rows, t.elapsed().as_secs_f64()))
+    };
+    let (cycle_rows, cycle_s) = leg(SimCore::Cycle)?;
+    let (event_rows, event_s) = leg(SimCore::Event)?;
+    let identical = cycle_rows == event_rows;
+    if !identical {
+        for (i, (c, e)) in cycle_rows.iter().zip(&event_rows).enumerate() {
+            if c != e {
+                eprintln!(
+                    "  MISMATCH at {figure} point {i} ({} {} {} bmf={}): event core diverges from cycle core",
+                    c.workload, c.ts, c.mode, c.bmf
+                );
+            }
+        }
+    }
+    let bench = CoreBench { figure, points: specs.len(), cycle_s, event_s };
+    Ok((bench, identical))
+}
+
 /// Serialises one bench measurement as a JSON object line set.
 #[allow(clippy::too_many_arguments)]
 fn bench_json(
     quick: bool,
     data_kb: u64,
     jobs: usize,
-    figures: &[(&'static str, usize)],
+    core: SimCore,
     points: usize,
     serial_s: f64,
     parallel_s: f64,
+    figs_json: &str,
     identical: bool,
+    cores_identical: bool,
 ) -> String {
     let rate = |secs: f64| if secs > 0.0 { points as f64 / secs } else { 0.0 };
-    let figs = figures
-        .iter()
-        .map(|(name, n)| format!("{{\"figure\": \"{name}\", \"points\": {n}}}"))
-        .collect::<Vec<_>>()
-        .join(", ");
     let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
     format!(
-        "{{\n  \"schema\": \"orderlight/bench-sweep/v1\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n",
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v2\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical}\n}}\n",
+        core = core.as_str(),
         avail = available_jobs(),
         sr = rate(serial_s),
         pr = rate(parallel_s),
     )
 }
 
-fn cmd_bench(args: &[String]) -> ExitCode {
+fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
     let (rest, jobs) = match take_jobs_flag(args) {
         Ok(x) => x,
         Err(e) => {
@@ -669,12 +748,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let data = data_kb * 1024;
     let figures = sweep_figures("all", data).expect("'all' is always known");
     let specs: Vec<JobSpec> = figures.iter().flat_map(|(_, s)| s.iter().copied()).collect();
-    let fig_counts: Vec<(&'static str, usize)> =
-        figures.iter().map(|(name, s)| (*name, s.len())).collect();
     println!(
-        "benchmarking sweep execution: {} points ({}) at {data_kb} KiB/structure/channel",
+        "benchmarking sweep execution: {} points ({}) at {data_kb} KiB/structure/channel (core: {})",
         specs.len(),
-        fig_counts.iter().map(|(n, c)| format!("{n}={c}")).collect::<Vec<_>>().join(", "),
+        figures.iter().map(|(n, s)| format!("{n}={}", s.len())).collect::<Vec<_>>().join(", "),
+        core.as_str(),
     );
 
     // Untimed warm-up pass: the first sweep pays one-off costs (heap
@@ -731,14 +809,60 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         eprintln!("  results : PARALLEL/SERIAL MISMATCH — determinism contract violated");
     }
 
-    let json =
-        bench_json(quick, data_kb, jobs, &fig_counts, specs.len(), serial_s, parallel_s, identical);
+    // Cycle-core vs event-core: per-figure serial timings plus a
+    // point-by-point cross-check (the quiescence contract, measured in
+    // release mode rather than merely asserted in the test suite). The
+    // extra fence-ts16 series is the fence-stall-dominated stress case
+    // where the time-skip core pays off most.
+    println!("core comparison (serial, per figure):");
+    let mut series: Vec<(&'static str, Vec<JobSpec>)> =
+        figures.iter().map(|(name, specs)| (*name, specs.clone())).collect();
+    series.push(("fence-ts16", fence_heavy_points(data)));
+    let mut cores_identical = true;
+    let mut fig_benches = Vec::with_capacity(series.len());
+    for (name, specs) in &series {
+        let (bench, same) = match bench_figure_cores(name, specs) {
+            Ok(x) => x,
+            Err(code) => {
+                set_core_override(Some(core));
+                return code;
+            }
+        };
+        cores_identical &= same;
+        println!(
+            "  {name}: cycle {:.3} s, event {:.3} s -> {:.2}x event speedup ({} points{})",
+            bench.cycle_s,
+            bench.event_s,
+            bench.speedup(),
+            bench.points,
+            if same { "" } else { ", MISMATCH" },
+        );
+        fig_benches.push(bench);
+    }
+    set_core_override(Some(core));
+    if !cores_identical {
+        eprintln!("  results : CYCLE/EVENT MISMATCH — quiescence contract violated");
+    }
+
+    let figs_json = fig_benches.iter().map(CoreBench::json).collect::<Vec<_>>().join(", ");
+    let json = bench_json(
+        quick,
+        data_kb,
+        jobs,
+        core,
+        specs.len(),
+        serial_s,
+        parallel_s,
+        &figs_json,
+        identical,
+        cores_identical,
+    );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
-    if identical {
+    if identical && cores_identical {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -747,11 +871,21 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--core` is global: strip it before subcommand dispatch and install
+    // it as the process-wide default (explicit flag beats ORDERLIGHT_CORE).
+    let (args, core) = match take_core_flag(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    set_core_override(Some(core));
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..], core),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),
         _ => usage(),
