@@ -41,6 +41,19 @@ if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
     cargo test --workspace -q -- --ignored
 fi
 
+# Ordering-violation oracle gate: a clean OrderLight run must stay
+# clean under both cores — with and without the legal fault layers —
+# and the seeded drop-edge mutation must make the oracle fire (the
+# `check --mutate` self-test exits non-zero if the oracle stays
+# silent on the deliberately broken schedule).
+echo "==> orderlight check (oracle gate, both cores)"
+./target/release/orderlight check --core cycle --data-kb 32
+./target/release/orderlight check --core event --data-kb 32
+./target/release/orderlight check --core event --data-kb 32 --faults all --seed 1
+
+echo "==> orderlight check --mutate (oracle mutation gate)"
+./target/release/orderlight check --core event --data-kb 32 --mutate 0:0
+
 # Sweep regression benchmark: re-runs every figure sweep serial vs
 # parallel AND cycle-core vs event-core in release mode, failing on
 # any bit-level mismatch. The JSON also records wall-clock, points/sec

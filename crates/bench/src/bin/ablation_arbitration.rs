@@ -6,15 +6,12 @@
 //! the host's memory group). Under coarse-grained arbitration the host
 //! is locked out of memory for the entire PIM computation.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::ablation_arbitration_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!("Arbitration-granularity ablation, {} KiB/structure/channel\n", data / 1024);
     let a = ablation_arbitration_jobs(data, jobs).expect("ablation runs");
     println!(

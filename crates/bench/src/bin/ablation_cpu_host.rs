@@ -4,16 +4,13 @@
 //! shorter than a GPU's memory pipe, but a fence still costs a
 //! core-to-memory round trip on the order of 100 cycles.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_pim::TsSize;
 use orderlight_sim::experiments::ablation_cpu_host_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!("OoO-CPU host, Add kernel, TS=1/8 RB, {} KiB/structure/channel\n", data / 1024);
     let rows = ablation_cpu_host_jobs(data, TsSize::Eighth, jobs).expect("study runs");
     for r in &rows {

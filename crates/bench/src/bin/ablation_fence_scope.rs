@@ -4,16 +4,13 @@
 //! guarantee at the memory controller, which is exactly why existing
 //! fences are *insufficient* for fine-grained PIM.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_pim::TsSize;
 use orderlight_sim::experiments::ablation_fence_scope_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!("Fence-scope ablation, Add kernel, {} KiB/structure/channel\n", data / 1024);
     for ts in TsSize::ALL {
         let a = ablation_fence_scope_jobs(data, ts, jobs).expect("ablation runs");

@@ -2,16 +2,13 @@
 //! the paper's row-hit-oriented analysis) versus closed-page, on a
 //! streaming and an irregular kernel.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::ablation_page_policy_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!("Page-policy ablation, OrderLight, {} KiB/structure/channel\n", data / 1024);
     let rows = ablation_page_policy_jobs(data, jobs).expect("ablation runs");
     let table: Vec<Vec<String>> = rows

@@ -3,15 +3,12 @@
 //! hides: the Add kernel under OrderLight with all-bank refresh off
 //! versus HBM2-like tREFI = 3.9 us / tRFC = 350 ns.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::ablation_refresh_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "DRAM refresh ablation, Add kernel, OrderLight, {} KiB/structure/channel\n",
         data / 1024

@@ -2,16 +2,13 @@
 //! DESIGN.md calls out (FR-FCFS scan depth, per-bank command-queue
 //! capacity) swept under OrderLight on the Add kernel.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::ablation_scheduler_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Controller scheduler knobs, Add kernel, OrderLight, {} KiB/structure/channel\n",
         data / 1024

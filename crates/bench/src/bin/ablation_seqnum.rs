@@ -7,17 +7,14 @@
 //! bandwidth when the buffer is small. OrderLight's in-band packets
 //! need no memory-side buffering and no credits.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_pim::TsSize;
 use orderlight_sim::experiments::ablation_seqnum_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Sequence-number (Kim et al.) vs OrderLight, Add kernel, TS=1/8 RB, {} KiB/structure/channel\n",
         data / 1024

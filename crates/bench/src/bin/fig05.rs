@@ -4,16 +4,13 @@
 //! fence at TS = 1/16, 1/8, 1/4, 1/2 of the row buffer}; line: waiting
 //! cycles per fence instruction.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::fig05_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{bar_chart, f3, format_table};
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Figure 5 — fence overhead, vector_add (Add), BMF=16, {} KiB/structure/channel\n",
         data / 1024

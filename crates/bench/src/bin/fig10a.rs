@@ -2,17 +2,14 @@
 //! data bandwidth (GB/s) for the stream benchmark, fence vs OrderLight,
 //! across TS sizes (BMF = 16).
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::fig10_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table};
 use std::collections::BTreeMap;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Figure 10a — stream benchmark: PIM command & data bandwidth, BMF=16, {} KiB/structure/channel\n",
         data / 1024

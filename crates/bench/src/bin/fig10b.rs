@@ -1,10 +1,8 @@
 //! Regenerates paper Figure 10b: execution time and core stall cycles
 //! for the stream benchmark — GPU baseline vs fence vs OrderLight.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::fig10_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
 
@@ -12,9 +10,8 @@ use std::collections::BTreeMap;
 type Cells = BTreeMap<(String, String), [Option<(f64, u64)>; 2]>;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Figure 10b — stream benchmark: execution time and core stall cycles, BMF=16, {} KiB/structure/channel\n",
         data / 1024

@@ -2,10 +2,8 @@
 //! OrderLight over fence for the data-intensive application kernels,
 //! plus the ordering-primitives-per-PIM-instruction line.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::fig12_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{bar_chart, f3, format_table, speedup};
 use std::collections::BTreeMap;
 
@@ -13,9 +11,8 @@ use std::collections::BTreeMap;
 type Cells = BTreeMap<(String, String), [Option<(f64, f64)>; 2]>;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "Figure 12 — application kernels: fence vs OrderLight, BMF=16, {} KiB/structure/channel\n",
         data / 1024

@@ -1,17 +1,14 @@
 //! Regenerates paper Figure 13: fence vs OrderLight across bandwidth
 //! multiplication factors (4x/8x/16x) for the Add kernel.
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::fig13_jobs;
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 use orderlight_sim::report::{f3, format_table, speedup};
 use std::collections::BTreeMap;
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!("Figure 13 — BMF sweep, Add kernel, {} KiB/structure/channel\n", data / 1024);
     let rows = fig13_jobs(data, jobs).expect("figure 13 sweep");
     let mut cells: BTreeMap<(u32, String), [Option<f64>; 2]> = BTreeMap::new();

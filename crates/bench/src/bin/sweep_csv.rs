@@ -10,10 +10,8 @@
 //! parallelism. Output is bit-identical at any worker count (enforced
 //! by `tests/parallel_equivalence.rs`).
 
-use orderlight_bench::report_data_bytes;
+use orderlight_bench::cli;
 use orderlight_sim::experiments::{fig10_jobs, fig12_jobs, fig13_jobs, SweepPoint};
-use orderlight_sim::core_select::core_from_process_args;
-use orderlight_sim::pool::jobs_from_process_args;
 
 fn emit(rows: &[SweepPoint], figure: &str) {
     for p in rows {
@@ -36,9 +34,8 @@ fn emit(rows: &[SweepPoint], figure: &str) {
 }
 
 fn main() {
-    let data = report_data_bytes();
-    let jobs = jobs_from_process_args();
-    let _ = core_from_process_args(); // applies --core / ORDERLIGHT_CORE process-wide
+    let args = cli::parse();
+    let (data, jobs) = (args.data, args.jobs);
     println!(
         "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified"
     );

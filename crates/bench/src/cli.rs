@@ -1,0 +1,71 @@
+//! Shared command-line handling for the report binaries.
+//!
+//! Every `src/bin/` binary accepts the same flags; this module parses
+//! them once instead of each binary re-assembling the
+//! `report_data_bytes` / `jobs_from_process_args` /
+//! `core_from_process_args` triple by hand:
+//!
+//! * `--core cycle|event` — execution core (or `ORDERLIGHT_CORE`);
+//!   installed process-wide as with the `orderlight` CLI.
+//! * `--jobs N` — sweep worker count (or `ORDERLIGHT_JOBS`).
+//! * `--data-kb N` — KiB per data structure per channel (or
+//!   `ORDERLIGHT_DATA_KB`; default 256).
+//! * `--seed N` — master seed for fault-stressed runs (default 0;
+//!   feed it to `ScenarioBuilder::fault_seed`).
+//!
+//! Unknown arguments are ignored, matching the binaries' historical
+//! behaviour; invalid values for known flags exit with status 2.
+
+use crate::report_data_bytes;
+use orderlight_sim::core_select::{core_from_process_args, SimCore};
+use orderlight_sim::pool::jobs_from_process_args;
+
+/// The parsed common flags.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Bytes per data structure per channel.
+    pub data: u64,
+    /// Sweep worker count.
+    pub jobs: usize,
+    /// Execution core (already installed as the process override).
+    pub core: SimCore,
+    /// Master fault seed for stressed runs.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// `data` in KiB, for report headers.
+    #[must_use]
+    pub fn data_kb(&self) -> u64 {
+        self.data / 1024
+    }
+}
+
+/// The value following `flag` in `args`, parsed as `u64`; exits with
+/// status 2 on an unparsable value, `None` when the flag is absent.
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let Some(raw) = args.get(pos + 1) else {
+        eprintln!("missing value for {flag}");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value '{raw}' for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the process arguments (and environment fallbacks) into
+/// [`BenchArgs`], installing the `--core` choice process-wide.
+#[must_use]
+pub fn parse() -> BenchArgs {
+    let core = core_from_process_args();
+    let jobs = jobs_from_process_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let data = flag_value(&args, "--data-kb").map_or_else(report_data_bytes, |kb| kb * 1024);
+    let seed = flag_value(&args, "--seed").unwrap_or(0);
+    BenchArgs { data, jobs, core, seed }
+}

@@ -1,0 +1,45 @@
+//! # Ordering-violation oracle and fault-injection checking
+//!
+//! Dynamic verification for the OrderLight reproduction, in two halves:
+//!
+//! * [`OrderingOracle`] — a passive [`orderlight_trace::TraceSink`]
+//!   that reconstructs, per memory controller, the happens-before
+//!   relation implied by OrderLight packets and fence probes, and flags
+//!   every column command issued against an unsatisfied ordering edge.
+//!   It is pure observation: attaching it changes no simulated cycle.
+//! * [`check_scenario`] — the packaged harness: builds a
+//!   [`orderlight_sim::Scenario`] (including its deterministic
+//!   [`orderlight::FaultPlan`] perturbations), runs it with the oracle
+//!   attached, and cross-checks the final DRAM image against the
+//!   sequential golden model.
+//!
+//! The oracle's happens-before rule is *ingress-keyed*: an OrderLight
+//! packet arriving at a controller snapshots the set of outstanding
+//! same-group requests (enqueued, column command not yet issued). Any
+//! request from outside that snapshot that issues while the snapshot is
+//! non-empty overtook the packet — a violated edge. The rule is exact
+//! because the channel's request path is FIFO: requests that are
+//! logically before a packet also arrive before it.
+//!
+//! ```
+//! use orderlight_check::check_scenario;
+//! use orderlight_sim::ScenarioBuilder;
+//! use orderlight_sim::config::ExecMode;
+//! use orderlight_workloads::{OrderingMode, WorkloadId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario =
+//!     ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+//!         .data_kb(8) // keep the doctest fast
+//!         .build()?;
+//! let outcome = check_scenario(&scenario)?;
+//! assert!(outcome.is_clean(), "{}", outcome.report.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod oracle;
+pub mod runner;
+
+pub use oracle::{CheckReport, OrderingOracle, Violation, ViolationKind};
+pub use runner::{check_scenario, CheckOutcome};

@@ -1,0 +1,100 @@
+//! The packaged check harness: run a scenario with the oracle attached
+//! and cross-check the final DRAM image.
+
+use crate::oracle::{CheckReport, OrderingOracle};
+use orderlight_sim::system::SimError;
+use orderlight_sim::{RunStats, Scenario};
+use std::sync::Arc;
+
+/// Everything a checked run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// The run's statistics, including the DRAM-image cross-check
+    /// against the sequential golden model
+    /// (`verified_matches` / `verified_mismatches`).
+    pub stats: RunStats,
+    /// The oracle's happens-before verdict.
+    pub report: CheckReport,
+    /// Ordering edges elided by a drop-edge mutation (zero unless the
+    /// scenario's fault plan asked for one).
+    pub edges_dropped: u64,
+}
+
+impl CheckOutcome {
+    /// Whether the run was clean on both axes: no happens-before edge
+    /// violated and every output byte matching the golden model.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean() && self.stats.is_correct()
+    }
+
+    /// One-line human summary covering both axes.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}; dram bytes: {} ok / {} wrong{}",
+            self.report.summary(),
+            self.stats.verified_matches,
+            self.stats.verified_mismatches,
+            if self.edges_dropped > 0 {
+                format!(" (mutation elided {} ordering edge(s))", self.edges_dropped)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Runs `scenario` with an [`OrderingOracle`] observing every memory
+/// controller, on the scenario's resolved execution core, and returns
+/// the combined verdict. The oracle rides the observer path
+/// ([`orderlight_sim::System::attach_observer`]), so the event core
+/// stays usable; a scenario-level trace sink, if any, is superseded at
+/// the controllers for the duration of the check.
+///
+/// # Errors
+/// Returns [`SimError`] on build failure or budget exhaustion.
+pub fn check_scenario(scenario: &Scenario) -> Result<CheckOutcome, SimError> {
+    let oracle = Arc::new(OrderingOracle::new());
+    let mut sys = scenario.system()?;
+    sys.attach_observer(oracle.clone());
+    let stats = sys.run_with(scenario.budget(), scenario.core())?;
+    let edges_dropped = sys.ordering_edges_dropped();
+    Ok(CheckOutcome { stats, report: oracle.report(), edges_dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::fault::{DropEdge, FaultPlan};
+    use orderlight_sim::config::ExecMode;
+    use orderlight_sim::ScenarioBuilder;
+    use orderlight_workloads::{OrderingMode, WorkloadId};
+
+    fn small(mode: OrderingMode) -> ScenarioBuilder {
+        ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(mode)).data_kb(8)
+    }
+
+    #[test]
+    fn clean_orderlight_run_has_no_violations() {
+        let outcome = check_scenario(&small(OrderingMode::OrderLight).build().unwrap()).unwrap();
+        assert!(outcome.is_clean(), "{}", outcome.summary());
+        assert!(outcome.report.packets > 0, "oracle must have seen packets");
+        assert!(outcome.report.reqs_issued > 0);
+        assert_eq!(outcome.edges_dropped, 0);
+    }
+
+    #[test]
+    fn mutant_run_fires_the_oracle() {
+        let plan =
+            FaultPlan { drop_edge: Some(DropEdge { channel: 0, group: 0 }), ..FaultPlan::none() };
+        let outcome =
+            check_scenario(&small(OrderingMode::OrderLight).faults(plan).build().unwrap()).unwrap();
+        assert!(outcome.edges_dropped > 0, "mutation must have elided edges");
+        assert!(
+            !outcome.report.is_clean(),
+            "oracle must flag the elided edges: {}",
+            outcome.summary()
+        );
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod fsm;
 pub mod isa;
 pub mod mapping;
@@ -53,6 +54,7 @@ pub mod types;
 
 pub use error::{ConfigError, PacketError};
 pub use event::{min_horizon, NextEvent};
+pub use fault::{DropEdge, FaultLayer, FaultPlan, NocJitter, RefreshStorm};
 pub use isa::{
     AluOp, InstrStream, KernelInstr, OrderingInstr, PimInstruction, PimOp, Reg, VecStream,
 };

@@ -10,6 +10,8 @@ use crate::bank::Bank;
 use crate::command::{ColKind, DramCommand};
 use crate::storage::FunctionalStore;
 use crate::timing::TimingParams;
+use orderlight::fault::RefreshStorm;
+use orderlight::rng::Rng;
 use orderlight::types::{BankId, MemCycle, Stripe};
 use orderlight::{min_horizon, NextEvent};
 use orderlight_trace::{sink::nop_sink, DramCmdKind, SharedSink, TraceEvent};
@@ -62,6 +64,9 @@ pub struct Channel {
     store: FunctionalStore,
     col_commands: u64,
     refresh: Option<RefreshParams>,
+    /// Fault injection: when set, each fired refresh re-arms the next
+    /// one after a seeded uniform draw instead of a fixed tREFI.
+    storm: Option<(Rng, RefreshStorm)>,
     /// Next cycle a refresh becomes due.
     refresh_due: MemCycle,
     /// End of the in-progress refresh window, if any.
@@ -105,11 +110,31 @@ impl Channel {
             col_commands: 0,
             refresh_due: refresh.map_or(0, |r| r.interval),
             refresh,
+            storm: None,
             refresh_until: None,
             refreshes: 0,
             sink: nop_sink(),
             channel_id: 0,
         }
+    }
+
+    /// Enables a seeded refresh storm (fault injection): refresh is
+    /// forced on (if it was off) and every fired refresh re-arms the
+    /// next one after a uniform draw from
+    /// `storm.min_interval..=storm.max_interval` memory cycles with
+    /// occupancy `storm.rfc`. Refreshes still honour tRAS/tWTP before
+    /// closing rows, so the perturbation is schedule-legal.
+    ///
+    /// # Panics
+    /// Panics if the interval bounds are zero or inverted.
+    pub fn enable_refresh_storm(&mut self, storm: RefreshStorm, seed: u64) {
+        assert!(storm.min_interval > 0, "storm intervals must be positive");
+        assert!(storm.min_interval <= storm.max_interval, "storm interval bounds inverted");
+        let mut rng = Rng::new(seed);
+        let span = storm.max_interval - storm.min_interval + 1;
+        self.refresh_due = storm.min_interval + rng.gen_range(span);
+        self.refresh = Some(RefreshParams { interval: storm.min_interval, rfc: storm.rfc });
+        self.storm = Some((rng, storm));
     }
 
     /// Attaches a trace sink, tagging this channel's DRAM-command events
@@ -162,7 +187,12 @@ impl Channel {
                 }
             }
             self.refresh_until = Some(now + r.rfc);
-            self.refresh_due = now + r.interval;
+            self.refresh_due = match &mut self.storm {
+                Some((rng, s)) => {
+                    now + s.min_interval + rng.gen_range(s.max_interval - s.min_interval + 1)
+                }
+                None => now + r.interval,
+            };
             self.refreshes += 1;
         }
     }

@@ -7,7 +7,8 @@ use crate::txn::{Transaction, TxnKind};
 use orderlight::fsm::diverge;
 use orderlight::mapping::{AddressMapping, GroupMap};
 use orderlight::message::{Marker, MemReq, MemResp};
-use orderlight::types::{BankId, MemCycle};
+use orderlight::rng::Rng;
+use orderlight::types::{BankId, MemCycle, MemGroupId};
 use orderlight::{NextEvent, PimOp};
 use orderlight_hbm::{Channel, ColKind, DramCommand, NeededCommand};
 use orderlight_pim::PimUnit;
@@ -206,6 +207,11 @@ pub struct MemoryController {
     expected_dequeue: std::collections::HashMap<orderlight::types::GlobalWarpId, u64>,
     /// Next sequence number each warp may issue (seq_order mode).
     expected_issue: std::collections::HashMap<orderlight::types::GlobalWarpId, u64>,
+    /// Fault injection: adversarial scheduler tie-breaks. When set, the
+    /// FR-FCFS pick chooses uniformly among *eligible* candidates
+    /// instead of preferring row hits / oldest arrivals — a legal but
+    /// hostile schedule.
+    adversary: Option<Rng>,
 }
 
 impl MemoryController {
@@ -231,10 +237,33 @@ impl MemoryController {
             channel_id: 0,
             expected_dequeue: std::collections::HashMap::new(),
             expected_issue: std::collections::HashMap::new(),
+            adversary: None,
             cfg,
             channel,
             pim,
         }
+    }
+
+    /// Enables adversarial scheduler tie-breaks seeded with `seed`.
+    ///
+    /// Every pick still honours all correctness constraints (ordering
+    /// barriers, sequence-number order, queue capacities, DRAM timing) —
+    /// only the *preference* among eligible candidates is randomized, so
+    /// functional results must be unchanged on a correct controller.
+    pub fn set_adversary(&mut self, seed: u64) {
+        self.adversary = Some(Rng::new(seed));
+    }
+
+    /// Activates the drop-one-ordering-edge mutation for `group` (see
+    /// [`GroupOrdering::set_elide_group`]).
+    pub fn set_elide_group(&mut self, group: MemGroupId) {
+        self.ordering.set_elide_group(group);
+    }
+
+    /// Ordering edges dropped by the elide mutation so far.
+    #[must_use]
+    pub fn ordering_edges_dropped(&self) -> u64 {
+        self.ordering.edges_dropped()
     }
 
     /// The issue trace (empty unless [`McConfig::trace`] is set).
@@ -340,6 +369,15 @@ impl MemoryController {
                     MemReq::Marker(_) => unreachable!("handled above"),
                 };
                 self.arrival_seq += 1;
+                if self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::ReqEnqueued {
+                        cycle: self.arrival_cycle,
+                        channel: self.channel_id,
+                        group: group.0,
+                        warp: meta.warp.0,
+                        seq: meta.seq,
+                    });
+                }
                 let entry = QueueEntry::Request(PendingReq {
                     loc,
                     group,
@@ -390,17 +428,23 @@ impl MemoryController {
     }
 
     /// FR-FCFS pick: preferred queue first (write-drain hysteresis), row
-    /// hits over row misses, oldest first within each class.
-    fn pick_dequeue(&self) -> Option<(Side, usize)> {
+    /// hits over row misses, oldest first within each class. With an
+    /// adversary attached, the pick within the preferred queue is instead
+    /// uniform among all eligible candidates (still constraint-legal).
+    fn pick_dequeue(&mut self) -> Option<(Side, usize)> {
         let order = if self.draining_writes {
             [Side::Write, Side::Read]
         } else {
             [Side::Read, Side::Write]
         };
+        let adversarial = self.adversary.is_some();
         for side in order {
-            let q = self.queue(side);
             let mut first_fit = None;
-            for (i, p) in q.eligible(|g| self.ordering.is_blocked(g), self.cfg.scan_depth) {
+            let mut row_hit = None;
+            let mut candidates: Vec<usize> = Vec::new();
+            let q = self.queue(side);
+            let elide = self.ordering.elide_group();
+            for (i, p) in q.eligible(|g| self.ordering.is_blocked(g), elide, self.cfg.scan_depth) {
                 if !self.txn_fits(p) {
                     continue;
                 }
@@ -414,11 +458,21 @@ impl MemoryController {
                 if first_fit.is_none() {
                     first_fit = Some(i);
                 }
-                if self.is_row_hit(p) {
-                    return Some((side, i));
+                if row_hit.is_none() && self.is_row_hit(p) {
+                    row_hit = Some(i);
+                    if !adversarial {
+                        break;
+                    }
+                }
+                if adversarial {
+                    candidates.push(i);
                 }
             }
-            if let Some(i) = first_fit {
+            if let Some(rng) = self.adversary.as_mut() {
+                if !candidates.is_empty() {
+                    return Some((side, candidates[rng.gen_index(candidates.len())]));
+                }
+            } else if let Some(i) = row_hit.or(first_fit) {
                 return Some((side, i));
             }
         }
@@ -586,6 +640,15 @@ impl MemoryController {
             }
         }
         self.ordering.on_issue(txn.group);
+        if self.sink.is_enabled() {
+            self.sink.emit(TraceEvent::ReqIssued {
+                cycle: now,
+                channel: self.channel_id,
+                group: txn.group.0,
+                warp: txn.meta.warp.0,
+                seq: txn.meta.seq,
+            });
+        }
         if self.cfg.seq_order && txn.is_pim() {
             self.expected_issue.insert(txn.meta.warp, txn.meta.seq + 1);
             // Return the buffer credit to the core (Kim et al. style).
@@ -616,8 +679,12 @@ impl MemoryController {
     }
 
     /// Oldest bank whose head transaction can issue `needed` right now.
-    fn pick_bank(&self, needed: NeededCommand, now: MemCycle) -> Option<BankId> {
+    /// With an adversary attached, a uniform pick among all such banks
+    /// replaces the oldest-arrival preference.
+    fn pick_bank(&mut self, needed: NeededCommand, now: MemCycle) -> Option<BankId> {
+        let adversarial = self.adversary.is_some();
         let mut best: Option<(u64, BankId)> = None;
+        let mut candidates: Vec<BankId> = Vec::new();
         for (b, q) in self.bank_q.iter().enumerate() {
             let Some(head) = q.front() else { continue };
             let bank = BankId(b as u8);
@@ -638,9 +705,18 @@ impl MemoryController {
             if !self.channel.can_issue(cmd, now) {
                 continue;
             }
+            if adversarial {
+                candidates.push(bank);
+            }
             if best.is_none_or(|(a, _)| head.arrival < a) {
                 best = Some((head.arrival, bank));
             }
+        }
+        if let Some(rng) = self.adversary.as_mut() {
+            if !candidates.is_empty() {
+                return Some(candidates[rng.gen_index(candidates.len())]);
+            }
+            return None;
         }
         best.map(|(_, b)| b)
     }

@@ -45,6 +45,12 @@ pub struct GroupOrdering {
     sanity_violations: u64,
     flags_set: u64,
     packets_merged: u64,
+    /// Mutation knob (fault injection): a group whose contribution to
+    /// merged-packet barriers is deliberately ignored, dropping its
+    /// ordering edge. `None` in every normal run.
+    elide_group: Option<MemGroupId>,
+    /// How many times the elided group actually dropped an edge.
+    edges_dropped: u64,
 }
 
 impl GroupOrdering {
@@ -60,7 +66,33 @@ impl GroupOrdering {
             sanity_violations: 0,
             flags_set: 0,
             packets_merged: 0,
+            elide_group: None,
+            edges_dropped: 0,
         }
+    }
+
+    /// Activates the drop-one-ordering-edge mutation: merged packets no
+    /// longer raise (or extend) barriers over `group`, and the
+    /// controller's queue scan ignores queued markers for the group (see
+    /// [`GroupOrdering::elide_group`]). The resulting schedule is
+    /// *incorrect by construction* — this exists only so the
+    /// ordering-violation oracle can be proven to fire.
+    pub fn set_elide_group(&mut self, group: MemGroupId) {
+        self.elide_group = Some(group);
+    }
+
+    /// The mutated group, if the drop-edge mutation is active. The
+    /// controller threads this into the transaction-queue scan so
+    /// in-queue marker copies stop constraining the group too.
+    #[must_use]
+    pub fn elide_group(&self) -> Option<MemGroupId> {
+        self.elide_group
+    }
+
+    /// Ordering edges dropped by the mutation so far.
+    #[must_use]
+    pub fn edges_dropped(&self) -> u64 {
+        self.edges_dropped
     }
 
     /// Whether requests of `group` are currently blocked by a barrier.
@@ -117,6 +149,13 @@ impl GroupOrdering {
                 }
             }
             self.last_number[g] = Some(packet.number());
+            if self.elide_group == Some(group) {
+                // Mutation: this group's edge is dropped — its in-flight
+                // requests do not enter the barrier and the barrier will
+                // not block the group's followers.
+                self.edges_dropped += 1;
+                continue;
+            }
             if mask & (1 << group.0) == 0 {
                 remaining += self.inflight[g];
             }

@@ -189,9 +189,15 @@ impl TransQueue {
     /// request is eligible if no marker constraining its group sits ahead
     /// of it and `group_blocked` is false for its group (the OrderLight
     /// flag state).
+    ///
+    /// `elide` is the drop-edge mutation hook: requests of that group
+    /// ignore in-queue markers entirely (the barrier half of the mutation
+    /// lives in `GroupOrdering`). It is `None` in every correct
+    /// configuration.
     pub fn eligible<'q>(
         &'q self,
         group_blocked: impl Fn(MemGroupId) -> bool + 'q,
+        elide: Option<MemGroupId>,
         scan_depth: usize,
     ) -> impl Iterator<Item = (usize, &'q PendingReq)> + 'q {
         let mut blocking: Vec<&MarkerCopy> = Vec::new();
@@ -205,7 +211,8 @@ impl TransQueue {
                 }
                 QueueEntry::Request(p) => {
                     if group_blocked(p.group)
-                        || blocking.iter().any(|m| marker_constrains(m, p.group))
+                        || (elide != Some(p.group)
+                            && blocking.iter().any(|m| marker_constrains(m, p.group)))
                     {
                         None
                     } else {
@@ -268,10 +275,24 @@ mod tests {
         q.push(req(0, 2));
         q.push(req(1, 3));
         let eligible: Vec<u64> =
-            q.eligible(|_| false, usize::MAX).map(|(_, p)| p.arrival).collect();
+            q.eligible(|_| false, None, usize::MAX).map(|(_, p)| p.arrival).collect();
         // Request 2 (group 0, behind the marker) is blocked; request 3
         // (group 1) passes freely.
         assert_eq!(eligible, vec![1, 3]);
+    }
+
+    #[test]
+    fn elided_group_ignores_markers() {
+        let mut q = TransQueue::new(8);
+        q.push(req(0, 1));
+        q.push(ol_copy(0, 1));
+        q.push(req(0, 2));
+        let eligible: Vec<u64> = q
+            .eligible(|_| false, Some(MemGroupId(0)), usize::MAX)
+            .map(|(_, p)| p.arrival)
+            .collect();
+        // With group 0's edge elided, request 2 passes the marker.
+        assert_eq!(eligible, vec![1, 2]);
     }
 
     #[test]
@@ -280,7 +301,7 @@ mod tests {
         q.push(req(0, 1));
         q.push(ol_copy(0, 1));
         assert!(q.ready_unoffered_marker().is_none(), "request 1 still ahead");
-        let idx = q.eligible(|_| false, usize::MAX).next().unwrap().0;
+        let idx = q.eligible(|_| false, None, usize::MAX).next().unwrap().0;
         let p = q.remove_request(idx);
         assert_eq!(p.arrival, 1);
         let copy = q.ready_unoffered_marker().unwrap().clone();
@@ -289,7 +310,7 @@ mod tests {
         assert!(q.ready_unoffered_marker().is_none(), "offered copies are not re-offered");
         // The copy stays in the queue, still blocking, until the merge
         // fires and it is removed by key.
-        assert_eq!(q.eligible(|_| false, usize::MAX).count(), 0);
+        assert_eq!(q.eligible(|_| false, None, usize::MAX).count(), 0);
         assert!(q.pop_marker_by_key(&copy.marker.key()));
         assert_eq!(q.len(), 0);
     }
@@ -316,7 +337,7 @@ mod tests {
         q.push(req(0, 1));
         q.push(req(1, 2));
         let eligible: Vec<u64> =
-            q.eligible(|g| g == MemGroupId(0), usize::MAX).map(|(_, p)| p.arrival).collect();
+            q.eligible(|g| g == MemGroupId(0), None, usize::MAX).map(|(_, p)| p.arrival).collect();
         assert_eq!(eligible, vec![2]);
     }
 
@@ -326,7 +347,7 @@ mod tests {
         for i in 0..6 {
             q.push(req(0, i));
         }
-        assert_eq!(q.eligible(|_| false, 3).count(), 3);
+        assert_eq!(q.eligible(|_| false, None, 3).count(), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! A bounded FIFO queue with a fixed traversal latency.
 
+use orderlight::rng::Rng;
 use orderlight::types::CoreCycle;
 use orderlight::NextEvent;
 use std::collections::VecDeque;
@@ -15,6 +16,10 @@ pub struct DelayQueue<T> {
     items: VecDeque<(CoreCycle, T)>,
     latency: CoreCycle,
     capacity: usize,
+    /// Fault injection: each push draws `0..=max_extra` extra cycles
+    /// added to the item's ready stamp. FIFO order is untouched, so this
+    /// only *delays* traffic — a legal perturbation.
+    jitter: Option<(Rng, u64)>,
 }
 
 impl<T> DelayQueue<T> {
@@ -25,7 +30,13 @@ impl<T> DelayQueue<T> {
     #[must_use]
     pub fn new(latency: CoreCycle, capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        DelayQueue { items: VecDeque::new(), latency, capacity }
+        DelayQueue { items: VecDeque::new(), latency, capacity, jitter: None }
+    }
+
+    /// Enables seeded traversal jitter: every subsequent push adds a
+    /// uniform `0..=max_extra` cycles to the item's ready stamp.
+    pub fn set_jitter(&mut self, seed: u64, max_extra: u64) {
+        self.jitter = Some((Rng::new(seed), max_extra));
     }
 
     /// Whether another item can be pushed.
@@ -60,7 +71,11 @@ impl<T> DelayQueue<T> {
     /// first; the pipe applies backpressure upstream.
     pub fn push(&mut self, item: T, now: CoreCycle) {
         assert!(self.has_space(), "delay queue overflow");
-        self.items.push_back((now + self.latency, item));
+        let extra = match &mut self.jitter {
+            Some((rng, max_extra)) => rng.gen_range(*max_extra + 1),
+            None => 0,
+        };
+        self.items.push_back((now + self.latency + extra, item));
     }
 
     /// Peeks at the head if its latency has elapsed.

@@ -107,6 +107,17 @@ impl MemoryPipe {
         }
     }
 
+    /// Enables seeded traversal jitter (fault injection) on the request
+    /// path: pushes into the interconnect and L2-to-DRAM queues each
+    /// draw up to `max_extra` extra cycles. FIFO order within each queue
+    /// is preserved, so requests are only delayed, never reordered past
+    /// markers — the perturbation is schedule-legal.
+    pub fn set_jitter(&mut self, seed: u64, max_extra: u64) {
+        let mut split = orderlight::rng::Rng::new(seed);
+        self.icnt.set_jitter(split.next_u64(), max_extra);
+        self.out.set_jitter(split.next_u64(), max_extra);
+    }
+
     /// Whether a request can enter the pipe this cycle.
     #[must_use]
     pub fn can_push(&self) -> bool {

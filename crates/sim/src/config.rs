@@ -91,22 +91,48 @@ impl SystemConfig {
     /// allocation does not cover the channels, or sub-configs disagree.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.core_freq_hz <= 0.0 || self.mem_freq_hz <= 0.0 {
-            return Err(ConfigError::new("clock frequencies must be positive"));
+            return Err(ConfigError::new(format!(
+                "clock frequencies must be positive (core_freq_hz = {}, mem_freq_hz = {})",
+                self.core_freq_hz, self.mem_freq_hz
+            )));
         }
         if self.channels == 0 || self.channels != self.mapping.channels() {
-            return Err(ConfigError::new("channel count must match the address mapping"));
+            return Err(ConfigError::new(format!(
+                "channel count must match the address mapping (channels = {}, mapping expects {})",
+                self.channels,
+                self.mapping.channels()
+            )));
         }
         if self.banks_per_channel != self.mapping.banks() {
-            return Err(ConfigError::new("bank count must match the address mapping"));
+            return Err(ConfigError::new(format!(
+                "bank count must match the address mapping \
+                 (banks_per_channel = {}, mapping expects {})",
+                self.banks_per_channel,
+                self.mapping.banks()
+            )));
         }
         if self.row_bytes != self.mapping.row_bytes() {
-            return Err(ConfigError::new("row size must match the address mapping"));
+            return Err(ConfigError::new(format!(
+                "row size must match the address mapping (row_bytes = {}, mapping expects {})",
+                self.row_bytes,
+                self.mapping.row_bytes()
+            )));
         }
         if self.sms_used * self.warps_per_sm < self.channels {
-            return Err(ConfigError::new("need at least one warp per channel"));
+            return Err(ConfigError::new(format!(
+                "need at least one warp per channel \
+                 (sms_used {} x warps_per_sm {} = {} warps < {} channels)",
+                self.sms_used,
+                self.warps_per_sm,
+                self.sms_used * self.warps_per_sm,
+                self.channels
+            )));
         }
         if self.sms_used > self.total_sms {
-            return Err(ConfigError::new("sms_used exceeds total_sms"));
+            return Err(ConfigError::new(format!(
+                "sms_used exceeds total_sms (sms_used = {}, total_sms = {})",
+                self.sms_used, self.total_sms
+            )));
         }
         self.timing.validate()?;
         Ok(())
@@ -201,10 +227,16 @@ impl ExperimentConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.system.validate()?;
         if self.bmf == 0 {
-            return Err(ConfigError::new("bmf must be positive"));
+            return Err(ConfigError::new(format!(
+                "bmf must be positive (bmf = {}, valid range 1..)",
+                self.bmf
+            )));
         }
         if self.data_bytes_per_channel == 0 {
-            return Err(ConfigError::new("job size must be positive"));
+            return Err(ConfigError::new(format!(
+                "job size must be positive (data_bytes_per_channel = {}, valid range 1..)",
+                self.data_bytes_per_channel
+            )));
         }
         Ok(())
     }

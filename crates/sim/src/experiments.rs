@@ -14,8 +14,9 @@
 
 use crate::config::{ExecMode, ExperimentConfig, SystemConfig};
 use crate::pool::Pool;
+use crate::scenario::ScenarioBuilder;
 use crate::stats::RunStats;
-use crate::system::{SimError, System};
+use crate::system::SimError;
 use orderlight::types::BankId;
 use orderlight_hbm::{Channel, ColKind, DramCommand, TimingParams};
 use orderlight_pim::TsSize;
@@ -59,57 +60,51 @@ pub fn apply_sm_policy(exp: &mut ExperimentConfig) {
     }
 }
 
-/// Cycle budget for a run (generous; a run that exceeds it is treated as
-/// a deadlock).
-fn budget(exp: &ExperimentConfig) -> u64 {
-    200_000_000 + exp.stripes_per_channel() * 20_000
-}
-
-/// Builds, runs and verifies one experiment.
+/// Builds, runs and verifies one experiment. Thin wrapper over
+/// [`ScenarioBuilder`] — prefer building a
+/// [`Scenario`](crate::scenario::Scenario) directly in new code.
 ///
 /// # Errors
 /// Returns [`SimError`] if the system fails to drain.
-pub fn run_experiment(mut exp: ExperimentConfig) -> Result<RunStats, SimError> {
-    apply_sm_policy(&mut exp);
-    run_experiment_fixed(exp)
+pub fn run_experiment(exp: ExperimentConfig) -> Result<RunStats, SimError> {
+    ScenarioBuilder::from_experiment(exp)
+        .build()
+        .map_err(|e| SimError::config(e.to_string()))?
+        .run()
 }
 
 /// Like [`run_experiment`], but keeps the caller's SM allocation
 /// instead of applying the paper's GPU SM policy — for hosts (e.g. the
-/// CPU study) whose allocation is part of the configuration.
+/// CPU study) whose allocation is part of the configuration. Thin
+/// wrapper over [`ScenarioBuilder::keep_sm_allocation`].
 ///
 /// # Errors
 /// Returns [`SimError`] if the system fails to drain.
 pub fn run_experiment_fixed(exp: ExperimentConfig) -> Result<RunStats, SimError> {
-    let b = budget(&exp);
-    let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
-    sys.run(b)
+    ScenarioBuilder::from_experiment(exp)
+        .keep_sm_allocation()
+        .build()
+        .map_err(|e| SimError::config(e.to_string()))?
+        .run()
 }
 
 /// Like [`run_experiment`], but with `sink` attached to every SM,
 /// controller and DRAM channel before the run. Returns the statistics
 /// together with the system's clock domains, which exporters need to
-/// place core- and memory-clocked events on one time axis.
+/// place core- and memory-clocked events on one time axis. Thin
+/// wrapper over [`ScenarioBuilder::trace`].
 ///
 /// # Errors
 /// Returns [`SimError`] if the system fails to drain.
 pub fn run_experiment_traced(
-    mut exp: ExperimentConfig,
+    exp: ExperimentConfig,
     sink: orderlight_trace::SharedSink,
 ) -> Result<(RunStats, orderlight_trace::ClockDomains), SimError> {
-    apply_sm_policy(&mut exp);
-    let b = budget(&exp);
-    let mut sys = System::build(exp).map_err(|e| SimError::from_config(&e))?;
-    sys.attach_sink(sink);
-    let clocks = sys.clock_domains();
-    let stats = sys.run(b)?;
-    Ok((stats, clocks))
-}
-
-impl SimError {
-    fn from_config(e: &orderlight::ConfigError) -> SimError {
-        SimError::config(e.to_string())
-    }
+    ScenarioBuilder::from_experiment(exp)
+        .trace(sink)
+        .build()
+        .map_err(|e| SimError::config(e.to_string()))?
+        .run_with_clocks()
 }
 
 /// Runs one `(workload, ts, mode, bmf)` point.
@@ -157,11 +152,13 @@ impl JobSpec {
     /// # Errors
     /// Propagates [`SimError`] from the run.
     pub fn run(&self) -> Result<SweepPoint, SimError> {
-        let mut exp = ExperimentConfig::new(self.workload, self.mode);
-        exp.ts_size = self.ts;
-        exp.bmf = self.bmf;
-        exp.data_bytes_per_channel = self.data_bytes_per_channel;
-        let stats = run_experiment(exp)?;
+        let stats = ScenarioBuilder::new(self.workload, self.mode)
+            .ts_size(self.ts)
+            .bmf(self.bmf)
+            .data_bytes_per_channel(self.data_bytes_per_channel)
+            .build()
+            .map_err(|e| SimError::config(e.to_string()))?
+            .run()?;
         Ok(SweepPoint {
             workload: self.workload.to_string(),
             ts: match self.mode {

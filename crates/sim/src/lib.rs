@@ -13,6 +13,12 @@
 //! * ordering primitives issued per PIM instruction,
 //! * functional correctness (matches / mismatches vs. the golden image).
 //!
+//! [`scenario::ScenarioBuilder`] is the typed front door: one builder
+//! collects the workload, execution mode, kernel parameters, system
+//! overrides, execution core, worker count, trace sink and fault plan,
+//! validates them together, and hands back a runnable
+//! [`Scenario`](scenario::Scenario).
+//!
 //! [`experiments`] packages a canned runner for every figure and table
 //! of the paper's evaluation. Each sweep enumerates its design points
 //! first ([`experiments::JobSpec`]) and executes them through the
@@ -24,11 +30,13 @@ pub mod core_select;
 pub mod experiments;
 pub mod pool;
 pub mod report;
+pub mod scenario;
 pub mod stats;
 pub mod system;
 
 pub use config::{ExecMode, ExperimentConfig, SystemConfig};
 pub use core_select::SimCore;
 pub use pool::Pool;
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use stats::RunStats;
 pub use system::System;

@@ -1,0 +1,365 @@
+//! The typed front door for assembling and running experiments.
+//!
+//! [`ScenarioBuilder`] gathers everything a run needs — workload,
+//! execution mode, kernel parameters, system overrides, execution core,
+//! worker count, trace sink, fault plan and cycle budget — into one
+//! validated [`Scenario`]. It replaces the historical pattern of
+//! mutating an [`ExperimentConfig`] field by field and threading core /
+//! jobs / sink selections through ad-hoc arguments and environment
+//! variables: the CLI, the bench binaries and the experiment runners
+//! all build a `Scenario` and call [`Scenario::run`].
+//!
+//! ```
+//! use orderlight_sim::scenario::ScenarioBuilder;
+//! use orderlight_sim::config::ExecMode;
+//! use orderlight_workloads::{OrderingMode, WorkloadId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stats = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+//!     .data_bytes_per_channel(8 * 1024) // keep the doctest fast
+//!     .build()?
+//!     .run()?;
+//! assert!(stats.is_correct());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::{ExecMode, ExperimentConfig, SystemConfig};
+use crate::core_select::{resolve_core, SimCore};
+use crate::experiments::apply_sm_policy;
+use crate::pool::{resolve_jobs, Pool};
+use crate::stats::RunStats;
+use crate::system::{SimError, System};
+use orderlight::fault::FaultPlan;
+use orderlight::ConfigError;
+use orderlight_pim::TsSize;
+use orderlight_trace::SharedSink;
+use orderlight_workloads::WorkloadId;
+
+/// Default cycle budget for a scenario: generous headroom plus a
+/// per-stripe allowance (a run that exceeds it is treated as a
+/// deadlock).
+#[must_use]
+pub fn default_budget(exp: &ExperimentConfig) -> u64 {
+    200_000_000 + exp.stripes_per_channel() * 20_000
+}
+
+/// A fully-specified, validated run. Build one with [`ScenarioBuilder`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    exp: ExperimentConfig,
+    core: Option<SimCore>,
+    jobs: Option<usize>,
+    faults: FaultPlan,
+    sink: Option<SharedSink>,
+    budget: Option<u64>,
+}
+
+impl Scenario {
+    /// The underlying experiment configuration.
+    #[must_use]
+    pub fn experiment(&self) -> &ExperimentConfig {
+        &self.exp
+    }
+
+    /// The fault plan (noop unless the builder set one).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The execution core this scenario resolves to: the builder's
+    /// explicit choice, else the process override / `ORDERLIGHT_CORE` /
+    /// default chain of [`resolve_core`].
+    #[must_use]
+    pub fn core(&self) -> SimCore {
+        resolve_core(self.core)
+    }
+
+    /// The worker count for sweeps: the builder's explicit choice, else
+    /// the `ORDERLIGHT_JOBS` / available-parallelism chain of
+    /// [`resolve_jobs`].
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        resolve_jobs(self.jobs)
+    }
+
+    /// A [`Pool`] sized to [`Scenario::jobs`].
+    #[must_use]
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.jobs())
+    }
+
+    /// The cycle budget: the builder's explicit choice, else
+    /// [`default_budget`].
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget.unwrap_or_else(|| default_budget(&self.exp))
+    }
+
+    /// Builds the [`System`] for this scenario: constructs it from the
+    /// experiment, applies the fault plan, and attaches the trace sink
+    /// (if any). The caller owns the run loop — [`Scenario::run`] is the
+    /// packaged version.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the experiment fails to build.
+    pub fn system(&self) -> Result<System, SimError> {
+        let mut sys =
+            System::build(self.exp.clone()).map_err(|e| SimError::config(e.to_string()))?;
+        sys.apply_faults(&self.faults);
+        if let Some(sink) = &self.sink {
+            sys.attach_sink(sink.clone());
+        }
+        Ok(sys)
+    }
+
+    /// Builds, runs to completion on [`Scenario::core`], and verifies.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] on build failure or budget exhaustion.
+    pub fn run(&self) -> Result<RunStats, SimError> {
+        let mut sys = self.system()?;
+        sys.run_with(self.budget(), self.core())
+    }
+
+    /// Like [`Scenario::run`], but also returns the system's clock
+    /// domains — exporters need them to place core- and memory-clocked
+    /// trace events on one time axis.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] on build failure or budget exhaustion.
+    pub fn run_with_clocks(&self) -> Result<(RunStats, orderlight_trace::ClockDomains), SimError> {
+        let mut sys = self.system()?;
+        let clocks = sys.clock_domains();
+        let stats = sys.run_with(self.budget(), self.core())?;
+        Ok((stats, clocks))
+    }
+}
+
+/// Builder for [`Scenario`] — the single typed entry point for
+/// configuring a run (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    exp: ExperimentConfig,
+    sm_policy: bool,
+    core: Option<SimCore>,
+    jobs: Option<usize>,
+    faults: FaultPlan,
+    sink: Option<SharedSink>,
+    budget: Option<u64>,
+}
+
+impl ScenarioBuilder {
+    /// Starts from the paper defaults for `workload` under `mode`. The
+    /// paper's SM-allocation policy ([`apply_sm_policy`]) is applied at
+    /// [`build`](Self::build) time unless
+    /// [`keep_sm_allocation`](Self::keep_sm_allocation) is called.
+    #[must_use]
+    pub fn new(workload: WorkloadId, mode: ExecMode) -> Self {
+        Self::from_experiment(ExperimentConfig::new(workload, mode))
+    }
+
+    /// Wraps an existing experiment configuration — the migration path
+    /// for call sites that already hold an [`ExperimentConfig`].
+    #[must_use]
+    pub fn from_experiment(exp: ExperimentConfig) -> Self {
+        ScenarioBuilder {
+            exp,
+            sm_policy: true,
+            core: None,
+            jobs: None,
+            faults: FaultPlan::none(),
+            sink: None,
+            budget: None,
+        }
+    }
+
+    /// Sets the PIM temporary-storage size (ignored in GPU mode).
+    #[must_use]
+    pub fn ts_size(mut self, ts: TsSize) -> Self {
+        self.exp.ts_size = ts;
+        self
+    }
+
+    /// Sets the bandwidth multiplication factor.
+    #[must_use]
+    pub fn bmf(mut self, bmf: u32) -> Self {
+        self.exp.bmf = bmf;
+        self
+    }
+
+    /// Sets the bytes per data structure per channel.
+    #[must_use]
+    pub fn data_bytes_per_channel(mut self, bytes: u64) -> Self {
+        self.exp.data_bytes_per_channel = bytes;
+        self
+    }
+
+    /// Sets the data size in KiB per structure per channel.
+    #[must_use]
+    pub fn data_kb(self, kb: u64) -> Self {
+        self.data_bytes_per_channel(kb * 1024)
+    }
+
+    /// Sets the sequence-number baseline's credit count.
+    #[must_use]
+    pub fn seq_credits(mut self, credits: u32) -> Self {
+        self.exp.seq_credits = credits;
+        self
+    }
+
+    /// Replaces the whole system configuration (implies the caller owns
+    /// the SM allocation: the paper policy is skipped).
+    #[must_use]
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.exp.system = system;
+        self.sm_policy = false;
+        self
+    }
+
+    /// Adjusts the system configuration in place — for nested knobs
+    /// (scheduler depths, pipe latencies, refresh parameters) without
+    /// rebuilding the whole [`SystemConfig`].
+    #[must_use]
+    pub fn tune_system(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.exp.system);
+        self
+    }
+
+    /// Keeps the current SM allocation instead of applying the paper's
+    /// mode-dependent policy at build time.
+    #[must_use]
+    pub fn keep_sm_allocation(mut self) -> Self {
+        self.sm_policy = false;
+        self
+    }
+
+    /// Pins the execution core (otherwise the [`resolve_core`] chain
+    /// decides at run time).
+    #[must_use]
+    pub fn core(mut self, core: SimCore) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// Pins the sweep worker count (otherwise the [`resolve_jobs`]
+    /// chain decides).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Installs a fault plan (see [`FaultPlan`]); [`FaultPlan::none`]
+    /// by default.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Re-seeds the current fault plan's master seed without changing
+    /// which layers are enabled.
+    #[must_use]
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.faults.seed = seed;
+        self
+    }
+
+    /// Attaches a trace sink to the built systems (a live sink forces
+    /// the dense core — see [`System::attach_sink`]).
+    #[must_use]
+    pub fn trace(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Overrides the cycle budget ([`default_budget`] otherwise).
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Applies the SM policy (unless disabled), validates, and returns
+    /// the immutable [`Scenario`].
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] naming the offending value if the
+    /// assembled experiment is inconsistent.
+    pub fn build(self) -> Result<Scenario, ConfigError> {
+        let ScenarioBuilder { mut exp, sm_policy, core, jobs, faults, sink, budget } = self;
+        if sm_policy {
+            apply_sm_policy(&mut exp);
+        }
+        exp.validate()?;
+        Ok(Scenario { exp, core, jobs, faults, sink, budget })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight_workloads::OrderingMode;
+
+    #[test]
+    fn builder_applies_the_sm_policy_by_default() {
+        let s = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence))
+            .data_kb(8)
+            .build()
+            .unwrap();
+        assert_eq!(s.experiment().system.sms_used, 2);
+        assert_eq!(s.experiment().system.warps_per_sm, 8);
+        let s = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence))
+            .data_kb(8)
+            .keep_sm_allocation()
+            .build()
+            .unwrap();
+        assert_eq!(s.experiment().system.sms_used, SystemConfig::default().sms_used);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_values() {
+        let err = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+            .bmf(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("bmf = 0"), "got: {err}");
+    }
+
+    #[test]
+    fn scenario_run_matches_the_legacy_path() {
+        let mut exp =
+            ExperimentConfig::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight));
+        exp.data_bytes_per_channel = 8 * 1024;
+        let legacy = crate::experiments::run_experiment(exp).unwrap();
+        let scenario =
+            ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+                .data_kb(8)
+                .build()
+                .unwrap();
+        assert_eq!(scenario.run().unwrap(), legacy);
+    }
+
+    #[test]
+    fn fault_seed_reseeds_without_toggling_layers() {
+        let s = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+            .faults(FaultPlan::stress(7))
+            .fault_seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(s.faults().seed, 9);
+        assert!(s.faults().sched_adversary);
+    }
+
+    #[test]
+    fn tune_system_reaches_nested_knobs() {
+        let s = ScenarioBuilder::new(WorkloadId::Add, ExecMode::Gpu)
+            .data_kb(4)
+            .tune_system(|sys| sys.mc.scan_depth = 3)
+            .build()
+            .unwrap();
+        assert_eq!(s.experiment().system.mc.scan_depth, 3);
+    }
+}

@@ -9,7 +9,8 @@
 use crate::config::{ExecMode, ExperimentConfig};
 use crate::core_select::{resolve_core, SimCore};
 use crate::stats::RunStats;
-use orderlight::types::{ChannelId, CoreCycle, GlobalWarpId, MemCycle};
+use orderlight::fault::{FaultLayer, FaultPlan};
+use orderlight::types::{ChannelId, CoreCycle, GlobalWarpId, MemCycle, MemGroupId};
 use orderlight::{min_horizon, ConfigError, InstrStream, MemReq, NextEvent};
 use orderlight_gpu::{Sm, SmStats, Warp};
 use orderlight_hbm::Channel;
@@ -222,6 +223,75 @@ impl System {
         for (ch, mc) in self.mcs.iter_mut().enumerate() {
             mc.set_sink(sink.clone(), ch as u8);
         }
+    }
+
+    /// Attaches an *observer* sink to the memory controllers only,
+    /// without forcing the dense core the way [`attach_sink`]
+    /// (Self::attach_sink) does. Observers consume the ordering
+    /// vocabulary — `ReqEnqueued` / `ReqIssued` / `PacketEnqueued` /
+    /// `FenceAck` — which both execution cores emit identically: those
+    /// events fire only on densely-executed memory cycles (an active
+    /// controller pins the quiescence horizon to `now`), so an
+    /// event-core run feeds an observer the same ordering stream as a
+    /// cycle-core run. Per-cycle detail (queue samples, DRAM command
+    /// timelines) is **not** complete under the event core; use
+    /// [`attach_sink`](Self::attach_sink) for full traces. A later
+    /// `attach_sink`/`attach_observer` call replaces the controllers'
+    /// sink.
+    pub fn attach_observer(&mut self, sink: orderlight_trace::SharedSink) {
+        for (ch, mc) in self.mcs.iter_mut().enumerate() {
+            mc.set_sink(sink.clone(), ch as u8);
+        }
+    }
+
+    /// Applies a deterministic fault plan to the assembled system,
+    /// seeding each enabled injection layer with a per-layer,
+    /// per-channel [`orderlight::rng::Rng`] stream derived from the
+    /// plan's master seed:
+    ///
+    /// * NoC jitter — extra traversal delay on each channel's request
+    ///   path ([`MemoryPipe`] queues; order-preserving).
+    /// * Scheduler adversary — the FR-FCFS pick is drawn uniformly from
+    ///   the *eligible* candidate set instead of the default heuristic
+    ///   (every ordering/timing constraint still holds).
+    /// * Refresh storm — each channel's refresh cadence is randomised
+    ///   within the storm's interval window.
+    /// * Drop-edge mutation — one controller's group barrier is elided
+    ///   (the only *illegal* layer; used to prove the oracle fires).
+    ///
+    /// Every draw happens on a state-determined, densely-executed
+    /// cycle, so an injected schedule is bit-identical across both
+    /// execution cores and any worker count. Call before `run`.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_noop() {
+            return;
+        }
+        if let Some(jitter) = plan.noc_jitter {
+            for (ch, pipe) in self.pipes.iter_mut().enumerate() {
+                pipe.set_jitter(plan.layer_seed(FaultLayer::Noc, ch as u8), jitter.max_extra);
+            }
+        }
+        for (ch, mc) in self.mcs.iter_mut().enumerate() {
+            if plan.sched_adversary {
+                mc.set_adversary(plan.layer_seed(FaultLayer::Sched, ch as u8));
+            }
+            if let Some(storm) = plan.refresh_storm {
+                mc.channel_mut()
+                    .enable_refresh_storm(storm, plan.layer_seed(FaultLayer::Refresh, ch as u8));
+            }
+            if let Some(edge) = plan.drop_edge {
+                if usize::from(edge.channel) == ch {
+                    mc.set_elide_group(MemGroupId(edge.group));
+                }
+            }
+        }
+    }
+
+    /// Ordering edges elided by a [`FaultPlan::drop_edge`] mutation,
+    /// summed over all controllers (zero on un-mutated systems).
+    #[must_use]
+    pub fn ordering_edges_dropped(&self) -> u64 {
+        self.mcs.iter().map(MemoryController::ordering_edges_dropped).sum()
     }
 
     /// The clock frequencies of this system as trace clock domains, for

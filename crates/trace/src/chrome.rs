@@ -223,6 +223,38 @@ impl ChromeTraceBuilder {
                         &[("warp", Arg::U(u64::from(warp))), ("fence_id", Arg::U(fence_id))],
                     ));
                 }
+                TraceEvent::ReqEnqueued { channel, group, warp, seq, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "req-enqueued",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("warp", Arg::U(u64::from(warp))),
+                            ("seq", Arg::U(seq)),
+                        ],
+                    ));
+                }
+                TraceEvent::ReqIssued { channel, group, warp, seq, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "req-issued",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("warp", Arg::U(u64::from(warp))),
+                            ("seq", Arg::U(seq)),
+                        ],
+                    ));
+                }
                 TraceEvent::SchedDecision { channel, side, bank, row_hit, .. } => {
                     let tid = u64::from(channel);
                     threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));

@@ -166,6 +166,37 @@ pub enum TraceEvent {
         /// Packet number.
         number: u32,
     },
+    /// A memory request entered the controller's transaction queues
+    /// (memory cycles). Together with [`TraceEvent::ReqIssued`] this is
+    /// the raw material of the happens-before oracle: a request that
+    /// arrives *after* a packet must not issue while requests that
+    /// arrived *before* it are still outstanding in the packet's groups.
+    ReqEnqueued {
+        /// Memory cycle of arrival.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Target memory group.
+        group: u8,
+        /// Originating warp (flattened id).
+        warp: u32,
+        /// Per-warp sequence number (unique per warp).
+        seq: u64,
+    },
+    /// A memory request's column (or execute) command issued and its
+    /// group-ordering obligations were released (memory cycles).
+    ReqIssued {
+        /// Memory cycle of issue.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Target memory group.
+        group: u8,
+        /// Originating warp (flattened id).
+        warp: u32,
+        /// Per-warp sequence number (unique per warp).
+        seq: u64,
+    },
     /// The controller generated a fence acknowledgement (memory cycles).
     FenceAck {
         /// Memory cycle of the acknowledgement.
@@ -287,7 +318,9 @@ impl TraceEvent {
             | TraceEvent::PacketEnqueued { .. }
             | TraceEvent::PacketMerged { .. }
             | TraceEvent::FenceAck { .. } => EventCategory::Packet,
-            TraceEvent::SchedDecision { .. }
+            TraceEvent::ReqEnqueued { .. }
+            | TraceEvent::ReqIssued { .. }
+            | TraceEvent::SchedDecision { .. }
             | TraceEvent::QueueSample { .. }
             | TraceEvent::HostReadDone { .. } => EventCategory::Scheduler,
             TraceEvent::DramCmd { .. } | TraceEvent::RowInterval { .. } => EventCategory::Dram,
@@ -305,6 +338,8 @@ impl TraceEvent {
             | TraceEvent::PacketCreated { cycle, .. }
             | TraceEvent::PacketEnqueued { cycle, .. }
             | TraceEvent::PacketMerged { cycle, .. }
+            | TraceEvent::ReqEnqueued { cycle, .. }
+            | TraceEvent::ReqIssued { cycle, .. }
             | TraceEvent::FenceAck { cycle, .. }
             | TraceEvent::SchedDecision { cycle, .. }
             | TraceEvent::QueueSample { cycle, .. }

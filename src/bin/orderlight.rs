@@ -3,6 +3,8 @@
 //! ```text
 //! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight]
 //!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
+//! orderlight check [run flags] [--faults none|noc|sched|storm|all]
+//!                  [--seed N] [--mutate CH:G]
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
 //! orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]
@@ -35,6 +37,15 @@
 //! host's available parallelism, or `ORDERLIGHT_JOBS`). Results are
 //! bit-identical to serial execution at any worker count.
 //!
+//! `check` runs the workload with the happens-before ordering oracle
+//! observing every memory controller and cross-checks the final DRAM
+//! image against the sequential golden model. `--faults` enables the
+//! seeded legal perturbation layers (NoC jitter, adversarial scheduler
+//! tie-breaks, refresh storms) under which a correct simulator must stay
+//! clean; `--mutate CH:G` elides one ordering edge on purpose and the
+//! command then succeeds only if the oracle fires (the CI mutation
+//! gate).
+//!
 //! `bench` times the same sweep serially and in parallel, verifies the
 //! two result sets are bit-identical, prints wall-clock/points-per-sec/
 //! speedup, and writes a machine-readable `BENCH_sweep.json` so the
@@ -43,16 +54,19 @@
 //! cross-checks them point by point. Exits non-zero on any
 //! parallel/serial or cycle/event mismatch.
 
+use orderlight_suite::check::check_scenario;
+use orderlight_suite::core::fault::{DropEdge, FaultPlan, NocJitter, RefreshStorm};
 use orderlight_suite::pim::TsSize;
-use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
+use orderlight_suite::sim::config::ExecMode;
 use orderlight_suite::sim::core_select::{set_core_override, take_core_flag, SimCore};
 use orderlight_suite::sim::experiments::{
-    apply_sm_policy, fence_heavy_points, fig05_points, fig10_points, fig12_points, fig13_points,
-    run_experiment, run_experiment_traced, run_points, run_points_serial, JobSpec, SweepPoint,
+    fence_heavy_points, fig05_points, fig10_points, fig12_points, fig13_points, run_points,
+    run_points_serial, JobSpec, SweepPoint,
 };
 use orderlight_suite::sim::pool::{available_jobs, take_jobs_flag, Pool};
 use orderlight_suite::sim::report::bar_chart;
 use orderlight_suite::sim::RunStats;
+use orderlight_suite::sim::ScenarioBuilder;
 use orderlight_suite::trace::{
     ChromeTraceBuilder, ClockDomains, CounterRegistry, DramCmdKind, EventCategory, Histogram,
     RingSink, SchedSide, TraceEvent,
@@ -64,7 +78,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event)"
     );
     ExitCode::from(2)
 }
@@ -118,13 +132,12 @@ impl Default for RunOpts {
 }
 
 impl RunOpts {
-    fn experiment(&self) -> ExperimentConfig {
-        let mut exp = ExperimentConfig::new(self.workload, self.mode);
-        exp.ts_size = self.ts;
-        exp.bmf = self.bmf;
-        exp.data_bytes_per_channel = self.data_kb * 1024;
-        exp.seq_credits = self.credits;
-        exp
+    fn builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder::new(self.workload, self.mode)
+            .ts_size(self.ts)
+            .bmf(self.bmf)
+            .data_kb(self.data_kb)
+            .seq_credits(self.credits)
     }
 }
 
@@ -227,13 +240,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
 
-    let mut exp = opts.experiment();
-    apply_sm_policy(&mut exp);
     println!(
         "running {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
         opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
-    match run_experiment(exp) {
+    match opts
+        .builder()
+        .build()
+        .map_err(|e| e.to_string())
+        .and_then(|s| s.run().map_err(|e| e.to_string()))
+    {
         Ok(stats) => {
             if print_stats(&stats) {
                 ExitCode::SUCCESS
@@ -245,6 +261,134 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Parses a `--faults` spec: a comma-separated subset of
+/// `none|noc|sched|storm|all`.
+fn parse_faults(spec: &str) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::none();
+    for part in spec.split(',') {
+        match part.trim().to_ascii_lowercase().as_str() {
+            "none" => {}
+            "noc" => plan.noc_jitter = Some(NocJitter::default()),
+            "sched" => plan.sched_adversary = true,
+            "storm" => plan.refresh_storm = Some(RefreshStorm::default()),
+            "all" => {
+                plan.noc_jitter = Some(NocJitter::default());
+                plan.sched_adversary = true;
+                plan.refresh_storm = Some(RefreshStorm::default());
+            }
+            _ => return None,
+        }
+    }
+    Some(plan)
+}
+
+/// Parses a `--mutate` spec `CH:G` (channel, memory group).
+fn parse_mutate(spec: &str) -> Option<DropEdge> {
+    let (ch, g) = spec.split_once(':')?;
+    Some(DropEdge { channel: ch.parse().ok()?, group: g.parse().ok()? })
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    // Keep the default checked run small: the oracle retains per-request
+    // state and the default job is CI-speed at 64 KiB.
+    let mut opts = RunOpts { data_kb: 64, ..RunOpts::default() };
+    let mut plan = FaultPlan::none();
+    let mut seed: Option<u64> = None;
+    let mut mutate: Option<DropEdge> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--faults" | "-f" => match parse_faults(value) {
+                Some(p) => {
+                    plan = p;
+                    true
+                }
+                None => false,
+            },
+            "--seed" => value.parse().map(|v| seed = Some(v)).is_ok(),
+            "--mutate" => match parse_mutate(value) {
+                Some(edge) => {
+                    mutate = Some(edge);
+                    true
+                }
+                None => false,
+            },
+            _ => match apply_common_flag(&mut opts, flag, value) {
+                Some(ok) => ok,
+                None => {
+                    eprintln!("unknown flag {flag}");
+                    return usage();
+                }
+            },
+        };
+        if !ok {
+            eprintln!("invalid value '{value}' for {flag}");
+            return usage();
+        }
+    }
+    plan.seed = seed.unwrap_or(0);
+    plan.drop_edge = mutate;
+
+    println!(
+        "checking {} mode={} ts={} bmf={}x data={}KiB/structure/channel (faults: noc={} sched={} storm={} seed={}{}) ...",
+        opts.workload,
+        opts.mode,
+        opts.ts,
+        opts.bmf,
+        opts.data_kb,
+        plan.noc_jitter.is_some(),
+        plan.sched_adversary,
+        plan.refresh_storm.is_some(),
+        plan.seed,
+        match plan.drop_edge {
+            Some(e) => format!(", MUTATE ch{}:g{}", e.channel, e.group),
+            None => String::new(),
+        },
+    );
+    let outcome = match opts
+        .builder()
+        .faults(plan)
+        .build()
+        .map_err(|e| e.to_string())
+        .and_then(|s| check_scenario(&s).map_err(|e| e.to_string()))
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("  {}", outcome.summary());
+    const SHOWN: usize = 12;
+    for v in outcome.report.violations.iter().take(SHOWN) {
+        println!("  {v}");
+    }
+    if outcome.report.violations.len() > SHOWN {
+        println!("  ... and {} more violation(s)", outcome.report.violations.len() - SHOWN);
+    }
+    if mutate.is_some() {
+        // Mutation self-test: success means the oracle *fired* on the
+        // deliberately broken schedule.
+        if outcome.edges_dropped > 0 && !outcome.report.is_clean() {
+            println!("  mutation gate         : PASS (oracle fired on the elided edge)");
+            ExitCode::SUCCESS
+        } else {
+            println!("  mutation gate         : FAIL (oracle stayed silent on a broken schedule)");
+            ExitCode::FAILURE
+        }
+    } else if outcome.is_clean() {
+        println!("  ordering check        : PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("  ordering check        : FAIL");
+        ExitCode::FAILURE
     }
 }
 
@@ -294,7 +438,7 @@ fn row_residency_histogram(events: &[TraceEvent]) -> Histogram {
 /// Epoch-segmented counters: the run is cut into `epochs` equal
 /// wall-clock windows and every event tallied into its window.
 fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -> CounterRegistry {
-    const NAMES: [&str; 17] = [
+    const NAMES: [&str; 19] = [
         "sm.warp_issue",
         "sm.warp_retire",
         "sm.fence_stalls",
@@ -305,6 +449,8 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
         "sched.picks_rd",
         "sched.picks_wr",
         "sched.row_hits",
+        "sched.req_enqueued",
+        "sched.req_issued",
         "dram.act",
         "dram.pre",
         "dram.rd",
@@ -346,6 +492,8 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
                         SchedSide::Write => "sched.picks_wr",
                     }
                 }
+                TraceEvent::ReqEnqueued { .. } => "sched.req_enqueued",
+                TraceEvent::ReqIssued { .. } => "sched.req_issued",
                 TraceEvent::QueueSample { .. } => continue,
                 TraceEvent::DramCmd { kind, .. } => match kind {
                     DramCmdKind::Activate => "dram.act",
@@ -432,7 +580,13 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
     let ring = Arc::new(RingSink::new(capacity));
-    let (stats, clocks) = match run_experiment_traced(opts.experiment(), ring.clone()) {
+    let traced = opts
+        .builder()
+        .trace(ring.clone())
+        .build()
+        .map_err(|e| e.to_string())
+        .and_then(|s| s.run_with_clocks().map_err(|e| e.to_string()));
+    let (stats, clocks) = match traced {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -883,6 +1037,7 @@ fn main() -> ExitCode {
     set_core_override(Some(core));
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..], core),

@@ -17,8 +17,9 @@
 //! | [`noc`] | `orderlight-noc` | the GPU memory pipe with L2 sub-partition divergence |
 //! | [`gpu`] | `orderlight-gpu` | SMs, warps, operand collector, fence stalls |
 //! | [`workloads`] | `orderlight-workloads` | the Table 2 kernel suite + golden verification |
-//! | [`sim`] | `orderlight-sim` | full-system assembly, experiments for every figure |
+//! | [`sim`] | `orderlight-sim` | full-system assembly, [`ScenarioBuilder`](sim::ScenarioBuilder), experiments for every figure |
 //! | [`trace`] | `orderlight-trace` | cycle-level trace events, sinks, histograms, Perfetto export |
+//! | [`check`] | `orderlight-check` | happens-before ordering oracle + fault-injection check harness |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 //! ```
 
 pub use orderlight as core;
+pub use orderlight_check as check;
 pub use orderlight_gpu as gpu;
 pub use orderlight_hbm as hbm;
 pub use orderlight_memctrl as memctrl;
