@@ -54,6 +54,19 @@ echo "==> orderlight check (oracle gate, both cores)"
 echo "==> orderlight check --mutate (oracle mutation gate)"
 ./target/release/orderlight check --core event --data-kb 32 --mutate 0:0
 
+# Stall-attribution profiler gate: profile the Figure 5 scenario pair
+# (fence baseline and OrderLight). `profile` itself exits non-zero if
+# a single stall cycle is attributed to no cause (the conservation
+# invariant); `profile-verify` then re-reads the emitted JSON with the
+# in-tree parser and re-checks the breakdown sums.
+echo "==> orderlight profile (conservation gate, fig05 scenario)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/orderlight profile Add --mode fence --data-kb 32 --out "$tmpdir/fig05_fence"
+./target/release/orderlight profile Add --mode orderlight --data-kb 32 --out "$tmpdir/fig05_ol"
+./target/release/orderlight profile-verify "$tmpdir/fig05_fence.profile.json" \
+    "$tmpdir/fig05_ol.profile.json"
+
 # Sweep regression benchmark: re-runs every figure sweep serial vs
 # parallel AND cycle-core vs event-core in release mode, failing on
 # any bit-level mismatch. The JSON also records wall-clock, points/sec

@@ -17,7 +17,7 @@ fn emit(rows: &[SweepPoint], figure: &str) {
     for p in rows {
         let s = &p.stats;
         println!(
-            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{}",
+            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
             p.workload,
             p.ts.replace(' ', ""),
             p.mode,
@@ -26,6 +26,11 @@ fn emit(rows: &[SweepPoint], figure: &str) {
             s.command_bandwidth_gcs,
             s.data_bandwidth_gbs,
             s.stall_cycles(),
+            s.sm.fence_stall_cycles,
+            s.sm.ol_wait_cycles,
+            s.sm.reg_wait_cycles,
+            s.sm.structural_stall_cycles,
+            s.sm.credit_wait_cycles,
             s.sm.fences + s.sm.orderlights,
             s.primitives_per_pim_instr,
             if s.is_correct() { "pass" } else { "FAIL" },
@@ -37,7 +42,7 @@ fn main() {
     let args = cli::parse();
     let (data, jobs) = (args.data, args.jobs);
     println!(
-        "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified"
+        "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified"
     );
     emit(&fig10_jobs(data, jobs).expect("fig10"), "fig10");
     emit(&fig12_jobs(data, jobs).expect("fig12"), "fig12");

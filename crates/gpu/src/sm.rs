@@ -17,7 +17,9 @@ use orderlight::message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 use orderlight::packet::OrderLightPacket;
 use orderlight::types::CoreCycle;
 use orderlight::{min_horizon, KernelInstr, NextEvent, OrderingInstr};
-use orderlight_trace::{sink::nop_sink, InstrKind, SharedSink, TraceEvent};
+use orderlight_trace::{
+    sink::nop_sink, InstrKind, SharedSink, StallCause as TraceCause, TraceEvent,
+};
 use std::collections::VecDeque;
 
 /// SM configuration.
@@ -112,6 +114,33 @@ enum StallCause {
     RegWait,
 }
 
+impl StallCause {
+    /// The trace-level cause this internal blocker is reported as. The
+    /// mapping is one-to-one with the counters [`Sm::charge`]
+    /// increments, which is what makes the profiler's conservation
+    /// invariant hold by construction.
+    fn trace_cause(self) -> TraceCause {
+        match self {
+            StallCause::CreditWait => TraceCause::CreditWait,
+            StallCause::Structural => TraceCause::Structural,
+            StallCause::OlWait => TraceCause::OlWait,
+            StallCause::FenceDrain => TraceCause::FenceDrain,
+            StallCause::RegWait => TraceCause::RegWait,
+        }
+    }
+}
+
+/// An open run of contiguous stall cycles for one cause, awaiting
+/// emission as a single batched [`TraceEvent::CoreStall`].
+#[derive(Debug, Clone, Copy)]
+struct StallRun {
+    /// Core cycle of the last charged cycle in the run.
+    end: CoreCycle,
+    /// Total warp-cycles charged (>= run length when several warps
+    /// stall on the same cause in the same cycle).
+    cycles: u64,
+}
+
 /// One streaming multiprocessor.
 ///
 /// # Example
@@ -152,6 +181,12 @@ pub struct Sm {
     // Cycle of the most recent tick; stamps events emitted from
     // `deliver`, which has no cycle parameter.
     cur_cycle: CoreCycle,
+    // This SM's index, for stamping CoreStall events (derived from the
+    // first warp's id at construction).
+    sm_id: u32,
+    // One open stall run per trace-level cause (indexed by the
+    // `StallCause::ALL` order); only touched when a sink is attached.
+    stall_runs: [Option<StallRun>; 6],
 }
 
 impl Sm {
@@ -163,12 +198,14 @@ impl Sm {
             ldst: VecDeque::new(),
             credits: vec![cfg.credits.unwrap_or(0); warps.len()],
             retired: vec![false; warps.len()],
+            sm_id: warps.first().map_or(0, |w| w.id().sm() as u32),
             warps,
             cfg,
             rr: 0,
             stats: SmStats::default(),
             sink: nop_sink(),
             cur_cycle: 0,
+            stall_runs: [None; 6],
         }
     }
 
@@ -305,8 +342,10 @@ impl Sm {
         }
     }
 
-    /// Charges `cycles` of stall to the counter `cause` maps to.
-    fn charge(&mut self, cause: StallCause, cycles: u64) {
+    /// Charges a span of `cycles` stall cycles starting at `now` to the
+    /// counter `cause` maps to, mirroring every charged cycle into the
+    /// batched [`TraceEvent::CoreStall`] stream when a sink is attached.
+    fn charge(&mut self, cause: StallCause, now: CoreCycle, cycles: u64) {
         match cause {
             StallCause::CreditWait => self.stats.credit_wait_cycles += cycles,
             StallCause::Structural => self.stats.structural_stall_cycles += cycles,
@@ -314,13 +353,61 @@ impl Sm {
             StallCause::FenceDrain => self.stats.fence_stall_cycles += cycles,
             StallCause::RegWait => self.stats.reg_wait_cycles += cycles,
         }
+        if self.sink.is_enabled() {
+            self.note_stall(cause.trace_cause(), now, now + cycles - 1, cycles);
+        }
+    }
+
+    /// Folds a stall charge covering core cycles `start..=end` into the
+    /// per-cause run, emitting the previous run first if this one is
+    /// not contiguous with it. `count` may exceed the span length when
+    /// several warps stall on the same cause in the same cycle.
+    fn note_stall(&mut self, cause: TraceCause, start: CoreCycle, end: CoreCycle, count: u64) {
+        let slot = cause as usize;
+        match &mut self.stall_runs[slot] {
+            Some(run) if start <= run.end + 1 => {
+                run.end = run.end.max(end);
+                run.cycles += count;
+            }
+            other => {
+                if let Some(run) = other.take() {
+                    self.sink.emit(TraceEvent::CoreStall {
+                        cycle: run.end,
+                        sm: self.sm_id,
+                        cause,
+                        cycles: run.cycles,
+                    });
+                }
+                *other = Some(StallRun { end, cycles: count });
+            }
+        }
+    }
+
+    /// Emits every still-open stall run. The system calls this once at
+    /// the end of a run so the profiler's conservation invariant sees
+    /// every charged cycle; calling it mid-run is harmless (runs simply
+    /// close early).
+    pub fn flush_stall_runs(&mut self) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        for (slot, cause) in TraceCause::ALL.iter().enumerate() {
+            if let Some(run) = self.stall_runs[slot].take() {
+                self.sink.emit(TraceEvent::CoreStall {
+                    cycle: run.end,
+                    sm: self.sm_id,
+                    cause: *cause,
+                    cycles: run.cycles,
+                });
+            }
+        }
     }
 
     /// Attempts to issue the current instruction of warp `i`; returns
     /// whether an instruction issued.
     fn try_issue(&mut self, i: usize, now: CoreCycle) -> bool {
         if let Some(cause) = self.issue_block(i) {
-            self.charge(cause, 1);
+            self.charge(cause, now, 1);
             return false;
         }
         let Some(instr) = self.warps[i].current() else { return false };
@@ -443,10 +530,12 @@ impl Sm {
 
         // Fence-stall accounting: every warp parked at a fence burns a
         // stall cycle (the paper's "waiting cycles per fence").
-        for w in &self.warps {
-            if matches!(w.state(), WarpState::WaitFence { .. }) {
-                self.stats.fence_stall_cycles += 1;
-            }
+        let parked =
+            self.warps.iter().filter(|w| matches!(w.state(), WarpState::WaitFence { .. })).count()
+                as u64;
+        self.stats.fence_stall_cycles += parked;
+        if parked > 0 && self.sink.is_enabled() {
+            self.note_stall(TraceCause::FenceWait, now, now, parked);
         }
 
         // Issue round-robin across ready warps.
@@ -503,12 +592,17 @@ impl Sm {
         self.cur_cycle = now + span - 1;
         for i in 0..self.warps.len() {
             match self.warps[i].state() {
-                WarpState::WaitFence { .. } => self.stats.fence_stall_cycles += span,
+                WarpState::WaitFence { .. } => {
+                    self.stats.fence_stall_cycles += span;
+                    if self.sink.is_enabled() {
+                        self.note_stall(TraceCause::FenceWait, now, now + span - 1, span);
+                    }
+                }
                 WarpState::Ready => {
                     let cause = self
                         .issue_block(i)
                         .expect("quiescent window skipped across an issuable warp");
-                    self.charge(cause, span);
+                    self.charge(cause, now, span);
                 }
                 WarpState::Done => {}
             }
@@ -696,6 +790,41 @@ mod tests {
         }
         assert!(sm.is_done());
         assert_eq!(sm.stats().computes, 1);
+    }
+
+    #[test]
+    fn core_stall_events_conserve_the_stall_counters() {
+        use orderlight_trace::RingSink;
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(100_000));
+        let mut sm = sm_with(vec![pim(0), KernelInstr::Ordering(OrderingInstr::Fence), pim(32)]);
+        sm.set_sink(ring.clone());
+        for now in 0..50 {
+            sm.tick(now);
+            let _ = drain_ldst(&mut sm);
+        }
+        sm.deliver(MemResp::FenceAck { warp: GlobalWarpId::new(0, 0), fence_id: 1 });
+        for now in 50..70 {
+            sm.tick(now);
+            let _ = drain_ldst(&mut sm);
+        }
+        sm.flush_stall_runs();
+        let mut by_cause = std::collections::BTreeMap::new();
+        for ev in ring.events() {
+            if let TraceEvent::CoreStall { cause, cycles, .. } = ev {
+                *by_cause.entry(cause).or_insert(0u64) += cycles;
+            }
+        }
+        let s = sm.stats();
+        let fence_attr = by_cause.get(&TraceCause::FenceWait).copied().unwrap_or(0)
+            + by_cause.get(&TraceCause::FenceDrain).copied().unwrap_or(0);
+        assert!(s.fence_stall_cycles > 0, "the fence must have stalled");
+        assert_eq!(fence_attr, s.fence_stall_cycles);
+        assert_eq!(
+            by_cause.get(&TraceCause::Structural).copied().unwrap_or(0),
+            s.structural_stall_cycles
+        );
+        assert_eq!(by_cause.values().sum::<u64>(), s.total_stalls(), "no cycle lost or invented");
     }
 
     #[test]

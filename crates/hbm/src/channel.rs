@@ -187,6 +187,13 @@ impl Channel {
                 }
             }
             self.refresh_until = Some(now + r.rfc);
+            if self.sink.is_enabled() {
+                self.sink.emit(TraceEvent::RefreshWindow {
+                    cycle: now,
+                    channel: self.channel_id,
+                    rfc: r.rfc,
+                });
+            }
             self.refresh_due = match &mut self.storm {
                 Some((rng, s)) => {
                     now + s.min_interval + rng.gen_range(s.max_interval - s.min_interval + 1)

@@ -549,6 +549,17 @@ impl MemoryController {
             }
             self.ordering.on_dequeue(p.group);
             let meta = p.req.meta().expect("requests carry metadata");
+            if self.sink.is_enabled() {
+                self.sink.emit(TraceEvent::ReqDequeued {
+                    cycle: self.arrival_cycle,
+                    channel: self.channel_id,
+                    group: p.group.0,
+                    warp: meta.warp.0,
+                    seq: meta.seq,
+                    bank: p.loc.map_or(0xff, |l| l.bank.0),
+                    waited: self.arrival_cycle.saturating_sub(p.arrival),
+                });
+            }
             let kind = match p.req {
                 MemReq::Pim { instr, .. } => TxnKind::Pim(instr),
                 MemReq::HostRead { reg, .. } => TxnKind::HostRead { reg },

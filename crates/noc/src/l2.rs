@@ -178,6 +178,13 @@ impl L2Slice {
         self.subs.iter().all(DelayQueue::is_empty)
     }
 
+    /// Requests resident across every sub-partition (occupancy for the
+    /// NoC counter tracks; marker copies count once per copy).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subs.iter().map(DelayQueue::len).sum()
+    }
+
     /// Whether every sub-partition's ready head is a marker copy — the
     /// exact condition under which [`tick`](Self::tick) takes the merge
     /// branch and skips the round-robin pointer advance.

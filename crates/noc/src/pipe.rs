@@ -6,6 +6,11 @@ use crate::l2::L2Slice;
 use orderlight::message::{MemReq, MemResp};
 use orderlight::types::CoreCycle;
 use orderlight::{min_horizon, NextEvent};
+use orderlight_trace::{sink::nop_sink, SharedSink, TraceEvent};
+
+/// Core-cycle stride between [`TraceEvent::PipeSample`] occupancy
+/// samples (matches the controller's queue-sample stride).
+const SAMPLE_STRIDE: u64 = 64;
 
 /// Memory-pipe latencies and capacities (core-clock cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +98,8 @@ pub struct MemoryPipe {
     l2: L2Slice,
     out: DelayQueue<MemReq>,
     ret: DelayQueue<MemResp>,
+    sink: SharedSink,
+    channel_id: u8,
 }
 
 impl MemoryPipe {
@@ -104,7 +111,17 @@ impl MemoryPipe {
             l2: L2Slice::with_fence_ack(cfg.sub_latency, cfg.sub_capacity, cfg.fence_ack_at_l2),
             out: DelayQueue::new(cfg.l2_out_latency, cfg.l2_out_capacity),
             ret: DelayQueue::new(cfg.return_latency, cfg.return_capacity),
+            sink: nop_sink(),
+            channel_id: 0,
         }
+    }
+
+    /// Attaches a trace sink stamping this pipe's occupancy samples
+    /// with `channel`. Sinks only observe; attaching one never changes
+    /// pipe behaviour.
+    pub fn set_sink(&mut self, sink: SharedSink, channel: u8) {
+        self.sink = sink;
+        self.channel_id = channel;
     }
 
     /// Enables seeded traversal jitter (fault injection) on the request
@@ -134,6 +151,14 @@ impl MemoryPipe {
 
     /// Advances the pipe's internal stages one core cycle.
     pub fn tick(&mut self, now: CoreCycle) {
+        if self.sink.is_enabled() && now.is_multiple_of(SAMPLE_STRIDE) {
+            self.sink.emit(TraceEvent::PipeSample {
+                cycle: now,
+                channel: self.channel_id,
+                in_flight: (self.icnt.len() + self.l2.len() + self.out.len()) as u32,
+                returning: self.ret.len() as u32,
+            });
+        }
         // Interconnect head into the L2 slice.
         if let Some(head) = self.icnt.peek_ready(now) {
             if self.l2.can_accept(head) {

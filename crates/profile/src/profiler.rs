@@ -1,0 +1,206 @@
+//! The streaming trace-stream aggregator behind `orderlight profile`.
+
+use crate::report::ProfileReport;
+use orderlight_trace::{ClockDomains, TraceEvent, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Where a packet is in its lifecycle, keyed by
+/// `(channel, group, number)`.
+#[derive(Debug, Default, Clone, Copy)]
+struct PacketTimes {
+    /// Core cycle of creation at the SM.
+    created: Option<u64>,
+    /// Memory cycle the copy reached the controller's queues.
+    enqueued: Option<u64>,
+}
+
+/// In-flight matching state plus the finished aggregates.
+#[derive(Debug, Default)]
+struct State {
+    report: ProfileReport,
+    /// `(warp, fence_id)` → core cycle the fence stall began.
+    fences: BTreeMap<(u32, u64), u64>,
+    /// `(channel, warp, seq)` → memory cycle of dequeue.
+    reqs: BTreeMap<(u8, u32, u64), u64>,
+    /// `(channel, group, number)` → lifecycle stamps so far.
+    packets: BTreeMap<(u8, u8, u32), PacketTimes>,
+}
+
+/// A passive [`TraceSink`] that folds the event stream into a
+/// [`ProfileReport`] as it arrives — nothing is buffered beyond the
+/// open (unmatched) lifecycle spans, so profiling long runs costs
+/// memory proportional to *in-flight* work, not trace length.
+///
+/// Attach it with `System::attach_sink` (or through
+/// [`crate::profile_scenario`]); reporting itself enabled is what
+/// forces the profiled run onto the dense cycle core.
+#[derive(Debug)]
+pub struct StallProfiler {
+    clocks: ClockDomains,
+    state: Mutex<State>,
+}
+
+impl StallProfiler {
+    /// A profiler converting cross-domain lifecycle spans with
+    /// `clocks` (take them from `System::clock_domains`).
+    #[must_use]
+    pub fn new(clocks: ClockDomains) -> Self {
+        StallProfiler { clocks, state: Mutex::new(State::default()) }
+    }
+
+    /// Snapshots the aggregation. Open lifecycle spans (a fence begun
+    /// but not acknowledged, a packet enqueued but never merged) are
+    /// counted into [`ProfileReport::unmatched`] rather than silently
+    /// vanishing.
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        let state = self.state.lock().expect("profiler poisoned");
+        let mut report = state.report.clone();
+        report.unmatched = (state.fences.len() + state.reqs.len() + state.packets.len()) as u64;
+        report
+    }
+}
+
+impl TraceSink for StallProfiler {
+    fn emit(&self, event: TraceEvent) {
+        let mut state = self.state.lock().expect("profiler poisoned");
+        let state = &mut *state;
+        let r = &mut state.report;
+        r.events += 1;
+        match event {
+            TraceEvent::CoreStall { cause, cycles, .. } => {
+                r.stalls[cause as usize] += cycles;
+            }
+            TraceEvent::FenceStallBegin { cycle, warp, fence_id, .. } => {
+                state.fences.entry((warp, fence_id)).or_insert(cycle);
+            }
+            TraceEvent::FenceStallEnd { cycle, warp, fence_id, .. } => {
+                if let Some(begin) = state.fences.remove(&(warp, fence_id)) {
+                    r.fence_round_trip.note(cycle.saturating_sub(begin));
+                }
+            }
+            TraceEvent::FenceAck { .. } => r.fence_acks += 1,
+            TraceEvent::PacketCreated { cycle, channel, group, number, .. } => {
+                r.packets_created += 1;
+                let times = state.packets.entry((channel, group, number)).or_default();
+                if times.created.is_none() {
+                    times.created = Some(cycle);
+                }
+            }
+            TraceEvent::PacketEnqueued { cycle, channel, group, number } => {
+                r.packets_enqueued += 1;
+                let times = state.packets.entry((channel, group, number)).or_default();
+                if times.enqueued.is_none() {
+                    times.enqueued = Some(cycle);
+                    if let Some(created) = times.created {
+                        let us = self.clocks.to_us(cycle, false) - self.clocks.to_us(created, true);
+                        r.noc_delay.note(us.max(0.0));
+                    }
+                }
+            }
+            TraceEvent::PacketMerged { cycle, channel, group, number } => {
+                r.packets_merged += 1;
+                if let Some(times) = state.packets.remove(&(channel, group, number)) {
+                    if let Some(enqueued) = times.enqueued {
+                        r.barrier_hold.note(cycle.saturating_sub(enqueued));
+                    }
+                }
+            }
+            TraceEvent::ReqEnqueued { .. } => r.reqs_enqueued += 1,
+            TraceEvent::ReqDequeued { cycle, channel, warp, seq, waited, .. } => {
+                r.reqs_dequeued += 1;
+                r.mc_queue_wait.note(waited);
+                state.reqs.entry((channel, warp, seq)).or_insert(cycle);
+            }
+            TraceEvent::ReqIssued { cycle, channel, warp, seq, .. } => {
+                r.reqs_issued += 1;
+                if let Some(dequeued) = state.reqs.remove(&(channel, warp, seq)) {
+                    r.bank_wait.note(cycle.saturating_sub(dequeued));
+                }
+            }
+            TraceEvent::HostReadDone { latency, .. } => r.host_read.note(latency),
+            TraceEvent::RefreshWindow { rfc, .. } => {
+                r.refresh_windows += 1;
+                r.refresh_cycles += rfc;
+            }
+            TraceEvent::PipeSample { in_flight, returning, .. } => {
+                r.pipe_samples += 1;
+                r.pipe_in_flight_sum += u64::from(in_flight);
+                r.pipe_in_flight_max = r.pipe_in_flight_max.max(in_flight);
+                r.pipe_returning_sum += u64::from(returning);
+            }
+            TraceEvent::QueueSample { read_q, write_q, .. } => {
+                r.queue_samples += 1;
+                r.queue_read_sum += u64::from(read_q);
+                r.queue_write_sum += u64::from(write_q);
+            }
+            // Issue/retire activity and the DRAM command timeline are
+            // counted (`events`) but carry no latency span to fold.
+            TraceEvent::WarpIssue { .. }
+            | TraceEvent::WarpRetire { .. }
+            | TraceEvent::SchedDecision { .. }
+            | TraceEvent::DramCmd { .. }
+            | TraceEvent::RowInterval { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight_trace::StallCause;
+
+    fn profiler() -> StallProfiler {
+        StallProfiler::new(ClockDomains::paper())
+    }
+
+    #[test]
+    fn stall_runs_fold_into_per_cause_sums() {
+        let p = profiler();
+        p.emit(TraceEvent::CoreStall { cycle: 9, sm: 0, cause: StallCause::FenceWait, cycles: 7 });
+        p.emit(TraceEvent::CoreStall { cycle: 30, sm: 1, cause: StallCause::FenceWait, cycles: 2 });
+        p.emit(TraceEvent::CoreStall { cycle: 5, sm: 0, cause: StallCause::RegWait, cycles: 3 });
+        let r = p.report();
+        assert_eq!(r.stall(StallCause::FenceWait), 9);
+        assert_eq!(r.stall(StallCause::RegWait), 3);
+        assert_eq!(r.total_attributed(), 12);
+    }
+
+    #[test]
+    fn lifecycle_pairs_match_across_clock_domains() {
+        let p = profiler();
+        // 120 core cycles and 85 memory cycles are both 100 ns.
+        p.emit(TraceEvent::PacketCreated { cycle: 120, channel: 0, group: 1, number: 7, warp: 0 });
+        p.emit(TraceEvent::PacketEnqueued { cycle: 170, channel: 0, group: 1, number: 7 });
+        p.emit(TraceEvent::PacketMerged { cycle: 200, channel: 0, group: 1, number: 7 });
+        p.emit(TraceEvent::FenceStallBegin { cycle: 10, sm: 0, warp: 3, fence_id: 1 });
+        p.emit(TraceEvent::FenceStallEnd { cycle: 110, sm: 0, warp: 3, fence_id: 1 });
+        let r = p.report();
+        // 170 mem cycles = 200 ns wall; created at 100 ns → 100 ns NoC.
+        assert_eq!(r.noc_delay.count, 1);
+        assert!((r.noc_delay.sum_us - 0.1).abs() < 1e-9, "noc {} us", r.noc_delay.sum_us);
+        assert_eq!(r.barrier_hold.sum, 30);
+        assert_eq!(r.fence_round_trip.sum, 100);
+        assert_eq!(r.unmatched, 0, "every span closed");
+    }
+
+    #[test]
+    fn open_spans_are_reported_not_dropped() {
+        let p = profiler();
+        p.emit(TraceEvent::FenceStallBegin { cycle: 4, sm: 0, warp: 0, fence_id: 9 });
+        p.emit(TraceEvent::ReqDequeued {
+            cycle: 8,
+            channel: 0,
+            group: 0,
+            warp: 1,
+            seq: 2,
+            bank: 0,
+            waited: 5,
+        });
+        let r = p.report();
+        assert_eq!(r.unmatched, 2);
+        assert_eq!(r.mc_queue_wait.sum, 5, "queue wait is charged at dequeue time");
+        assert_eq!(r.bank_wait.count, 0, "bank wait needs the issue side");
+    }
+}

@@ -147,18 +147,23 @@ impl JobSpec {
         JobSpec { workload, ts, mode, bmf: 16, data_bytes_per_channel: data }
     }
 
+    /// The [`ScenarioBuilder`] this point's run is assembled from —
+    /// shared by [`JobSpec::run`] and harnesses (like the stall
+    /// profiler) that attach their own sinks before running.
+    #[must_use]
+    pub fn builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder::new(self.workload, self.mode)
+            .ts_size(self.ts)
+            .bmf(self.bmf)
+            .data_bytes_per_channel(self.data_bytes_per_channel)
+    }
+
     /// Builds, runs and verifies this point's experiment.
     ///
     /// # Errors
     /// Propagates [`SimError`] from the run.
     pub fn run(&self) -> Result<SweepPoint, SimError> {
-        let stats = ScenarioBuilder::new(self.workload, self.mode)
-            .ts_size(self.ts)
-            .bmf(self.bmf)
-            .data_bytes_per_channel(self.data_bytes_per_channel)
-            .build()
-            .map_err(|e| SimError::config(e.to_string()))?
-            .run()?;
+        let stats = self.builder().build().map_err(|e| SimError::config(e.to_string()))?.run()?;
         Ok(SweepPoint {
             workload: self.workload.to_string(),
             ts: match self.mode {

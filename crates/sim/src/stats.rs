@@ -4,7 +4,7 @@ use orderlight_gpu::SmStats;
 use orderlight_memctrl::McStats;
 
 /// The result of one simulated run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RunStats {
     /// Core cycles until every warp retired and the memory system
     /// drained.

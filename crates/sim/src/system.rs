@@ -37,8 +37,11 @@ impl SimError {
         SimError { message: message.into() }
     }
 
-    /// Wraps a configuration problem as a simulation error.
-    pub(crate) fn config(message: impl Into<String>) -> Self {
+    /// Wraps a configuration problem as a simulation error — used by
+    /// harness crates that fold a build failure into the run's error
+    /// channel.
+    #[must_use]
+    pub fn config(message: impl Into<String>) -> Self {
         SimError::new(message)
     }
 }
@@ -219,6 +222,9 @@ impl System {
         self.traced = self.traced || sink.is_enabled();
         for sm in &mut self.sms {
             sm.set_sink(sink.clone());
+        }
+        for (ch, pipe) in self.pipes.iter_mut().enumerate() {
+            pipe.set_sink(sink.clone(), ch as u8);
         }
         for (ch, mc) in self.mcs.iter_mut().enumerate() {
             mc.set_sink(sink.clone(), ch as u8);
@@ -586,6 +592,12 @@ impl System {
                 SimCore::Cycle => self.step_cycle(),
                 SimCore::Event => self.step_skip(max_core_cycles),
             }
+        }
+        // Close every SM's open stall runs so a stall-attribution
+        // consumer sees each charged cycle exactly once (no-op without
+        // a live sink).
+        for sm in &mut self.sms {
+            sm.flush_stall_runs();
         }
         Ok(self.collect())
     }

@@ -58,12 +58,17 @@ const WARP_TID_BASE: u64 = 1_000_000;
 /// DRAM tids pack channel and bank as `channel * BANK_STRIDE + bank`.
 const BANK_STRIDE: u64 = 1024;
 
+/// Refresh windows get a dedicated track inside each channel's DRAM
+/// process, below the per-bank tids (`0xff` is taken by exec).
+const REFRESH_TID: u64 = BANK_STRIDE - 2;
+
 fn pid(cat: EventCategory) -> u64 {
     match cat {
         EventCategory::Sm => 1,
         EventCategory::Packet => 2,
         EventCategory::Scheduler => 3,
         EventCategory::Dram => 4,
+        EventCategory::Noc => 5,
     }
 }
 
@@ -73,6 +78,7 @@ fn process_name(cat: EventCategory) -> &'static str {
         EventCategory::Packet => "OrderLight packets",
         EventCategory::Scheduler => "MC scheduler",
         EventCategory::Dram => "DRAM commands",
+        EventCategory::Noc => "NoC pipes",
     }
 }
 
@@ -103,6 +109,14 @@ impl ChromeTraceBuilder {
     /// Renders `events` as a complete Chrome trace JSON document.
     #[must_use]
     pub fn build(&self, events: &[TraceEvent]) -> String {
+        self.build_with_drops(events, 0)
+    }
+
+    /// Like [`build`](Self::build), but records `dropped` — events a
+    /// bounded sink discarded on overflow — as trace-level metadata so
+    /// a truncated export is never mistaken for a complete one.
+    #[must_use]
+    pub fn build_with_drops(&self, events: &[TraceEvent], dropped: u64) -> String {
         let mut rows: Vec<String> = Vec::with_capacity(events.len() + 16);
         // (pid, tid) -> thread name, collected while walking events so
         // metadata only names tracks that actually exist.
@@ -325,6 +339,72 @@ impl ChromeTraceBuilder {
                         &[("open_cycles", Arg::U(open_cycles))],
                     ));
                 }
+                TraceEvent::CoreStall { sm, cause, cycles, .. } => {
+                    let tid = u64::from(sm);
+                    threads.entry((p, tid)).or_insert_with(|| format!("SM {sm}"));
+                    // The run covers `cycles` contiguous core cycles
+                    // ending at the stamp; render the whole interval.
+                    let start_ts =
+                        self.clocks.to_us((ev.cycle() + 1).saturating_sub(cycles.max(1)), true);
+                    rows.push(span(
+                        &format!("stall:{}", cause.label()),
+                        "X",
+                        cat,
+                        p,
+                        tid,
+                        start_ts,
+                        Some(ts - start_ts + self.clocks.to_us(1, true)),
+                        &[("cycles", Arg::U(cycles))],
+                    ));
+                }
+                TraceEvent::ReqDequeued { channel, group, warp, seq, bank, waited, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("channel {channel}"));
+                    rows.push(instant(
+                        "req-dequeued",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("group", Arg::U(u64::from(group))),
+                            ("warp", Arg::U(u64::from(warp))),
+                            ("seq", Arg::U(seq)),
+                            ("bank", Arg::U(u64::from(bank))),
+                            ("waited", Arg::U(waited)),
+                        ],
+                    ));
+                }
+                TraceEvent::PipeSample { channel, in_flight, returning, .. } => {
+                    let tid = u64::from(channel);
+                    threads.entry((p, tid)).or_insert_with(|| format!("pipe ch{channel}"));
+                    rows.push(counter(
+                        &format!("pipe ch{channel}"),
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        &[
+                            ("in_flight", Arg::U(u64::from(in_flight))),
+                            ("returning", Arg::U(u64::from(returning))),
+                        ],
+                    ));
+                }
+                TraceEvent::RefreshWindow { channel, rfc, .. } => {
+                    let tid = u64::from(channel) * BANK_STRIDE + REFRESH_TID;
+                    threads.entry((p, tid)).or_insert_with(|| format!("ch{channel} refresh"));
+                    let dur = self.clocks.to_us(rfc, false);
+                    rows.push(span(
+                        "refresh",
+                        "X",
+                        cat,
+                        p,
+                        tid,
+                        ts,
+                        Some(dur),
+                        &[("rfc", Arg::U(rfc))],
+                    ));
+                }
             }
         }
 
@@ -350,6 +430,12 @@ impl ChromeTraceBuilder {
                 escape(name)
             ));
         }
+        // Sink completeness: how many events the bounded sink retained
+        // and how many it discarded, so truncation is never silent.
+        meta.push(format!(
+            r#"{{"ph":"M","name":"orderlight_sink","pid":0,"tid":0,"args":{{"retained":{},"dropped":{dropped}}}}}"#,
+            events.len()
+        ));
 
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -578,5 +664,151 @@ mod tests {
         let clocks = ClockDomains { core_hz: 2.0e9, mem_hz: 1.0e9 };
         // 20 core cycles at 2 GHz == 10 ns == 10 mem cycles at 1 GHz.
         assert!((clocks.to_us(20, true) - clocks.to_us(10, false)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_events_export_on_their_own_tracks() {
+        use crate::event::StallCause;
+        let events = vec![
+            TraceEvent::CoreStall { cycle: 9, sm: 0, cause: StallCause::FenceWait, cycles: 10 },
+            TraceEvent::ReqDequeued {
+                cycle: 12,
+                channel: 0,
+                group: 0,
+                warp: 1,
+                seq: 2,
+                bank: 3,
+                waited: 4,
+            },
+            TraceEvent::PipeSample { cycle: 64, channel: 0, in_flight: 5, returning: 2 },
+            TraceEvent::RefreshWindow { cycle: 3315, channel: 0, rfc: 298 },
+        ];
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&events);
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let mut cats: Vec<&str> =
+            evs.iter().filter_map(|e| e.get("cat").and_then(|c| c.as_str())).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats, vec!["dram", "noc", "scheduler", "sm"]);
+        let stall = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("stall:fence_wait"))
+            .expect("CoreStall exports as a complete span");
+        // The run covers core cycles 0..=9: starts at 0, 10 cycles long.
+        assert_eq!(stall.get("ts").unwrap().as_f64(), Some(0.0));
+        let dur = stall.get("dur").unwrap().as_f64().unwrap();
+        assert!((dur - 10.0 / 1.2e9 * 1e6).abs() < 1e-6);
+        let pipe = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("pipe ch0"))
+            .expect("PipeSample exports as a counter");
+        assert_eq!(pipe.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(pipe.get("args").unwrap().get("in_flight").unwrap().as_f64(), Some(5.0));
+        let refresh = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("refresh"))
+            .expect("RefreshWindow exports as a complete span");
+        let dur = refresh.get("dur").unwrap().as_f64().unwrap();
+        assert!((dur - 298.0 / 850.0e6 * 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drop_count_lands_in_sink_metadata() {
+        let b = ChromeTraceBuilder::new(ClockDomains::paper());
+        let jsonic = b.build_with_drops(&sample_events(), 17);
+        let doc = json::parse(&jsonic).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let meta = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("orderlight_sink"))
+            .expect("sink metadata row present");
+        assert_eq!(meta.get("args").unwrap().get("dropped").unwrap().as_f64(), Some(17.0));
+        assert_eq!(meta.get("args").unwrap().get("retained").unwrap().as_f64(), Some(9.0));
+        // build() is the zero-drop special case of the same document.
+        let clean = json::parse(&b.build(&sample_events())).unwrap();
+        let row = clean
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("orderlight_sink"))
+            .unwrap();
+        assert_eq!(row.get("args").unwrap().get("dropped").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn zero_length_spans_survive_export() {
+        // A fence stall that begins and ends on the same cycle, and a
+        // row that closes the cycle it opened: zero-duration spans must
+        // export as valid JSON with dur == 0, not negative or missing.
+        let events = vec![
+            TraceEvent::FenceStallBegin { cycle: 5, sm: 0, warp: 0, fence_id: 1 },
+            TraceEvent::FenceStallEnd { cycle: 5, sm: 0, warp: 0, fence_id: 1 },
+            TraceEvent::RowInterval { cycle: 8, channel: 0, bank: 0, row: 3, open_cycles: 0 },
+        ];
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&events);
+        let doc = json::parse(&jsonic).expect("zero-length spans must stay valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let stalls: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("fence-stall"))
+            .collect();
+        assert_eq!(stalls.len(), 2);
+        let b = stalls[0].get("ts").unwrap().as_f64().unwrap();
+        let e = stalls[1].get("ts").unwrap().as_f64().unwrap();
+        assert!((e - b).abs() < 1e-12, "begin and end coincide");
+        let x = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("zero-residency row still exports");
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn cycle_zero_events_stamp_the_origin_in_both_domains() {
+        let events = vec![
+            TraceEvent::WarpIssue { cycle: 0, sm: 0, warp: 0, kind: InstrKind::Pim },
+            TraceEvent::QueueSample { cycle: 0, channel: 0, read_q: 0, write_q: 0 },
+        ];
+        let jsonic = ChromeTraceBuilder::new(ClockDomains::paper()).build(&events);
+        let doc = json::parse(&jsonic).unwrap();
+        for e in doc.get("traceEvents").unwrap().as_array().unwrap() {
+            if e.get("ph").and_then(|p| p.as_str()) == Some("M") {
+                continue;
+            }
+            assert_eq!(e.get("ts").unwrap().as_f64(), Some(0.0), "cycle 0 maps to ts 0");
+        }
+    }
+
+    #[test]
+    fn interleaved_domain_stamps_share_one_monotonic_axis() {
+        // Core events at 1.2 GHz and memory events at 850 MHz, emitted
+        // interleaved: on the wall-clock axis their timestamps must
+        // order by physical time, not by raw cycle count.
+        let clocks = ClockDomains::paper();
+        let events = vec![
+            TraceEvent::WarpIssue { cycle: 120, sm: 0, warp: 0, kind: InstrKind::Pim }, // 100 ns
+            TraceEvent::QueueSample { cycle: 85, channel: 0, read_q: 1, write_q: 0 },   // 100 ns
+            TraceEvent::WarpIssue { cycle: 240, sm: 0, warp: 0, kind: InstrKind::Pim }, // 200 ns
+            TraceEvent::QueueSample { cycle: 255, channel: 0, read_q: 2, write_q: 0 },  // 300 ns
+        ];
+        let jsonic = ChromeTraceBuilder::new(clocks).build(&events);
+        let doc = json::parse(&jsonic).unwrap();
+        let ts: Vec<f64> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) != Some("M"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(ts.len(), 4);
+        // 120 core cycles and 85 memory cycles are both exactly 100 ns.
+        assert!((ts[0] - 0.1).abs() < 1e-9);
+        assert!((ts[0] - ts[1]).abs() < 1e-9, "same wall time across domains");
+        assert!(ts[2] > ts[1] && ts[3] > ts[2], "axis stays monotonic");
     }
 }

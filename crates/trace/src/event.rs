@@ -77,6 +77,51 @@ pub enum SchedSide {
     Write,
 }
 
+/// The typed cause a core stall cycle is charged to. Mirrors the SM's
+/// internal accounting one-for-one, so the profiler's conservation
+/// invariant (sum of attributed cycles per cause == the SM's stall
+/// counters) holds by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallCause {
+    /// A warp parked waiting for a fence acknowledgement.
+    FenceWait,
+    /// Issue held while in-flight stores drain ahead of a fence.
+    FenceDrain,
+    /// Issue held for OrderLight packet-injection spacing.
+    OlWait,
+    /// Operand-collector read-after-write interlock.
+    RegWait,
+    /// Structural hazard: operand collector or LDST queue full.
+    Structural,
+    /// Sequence-number baseline out of controller buffer credits.
+    CreditWait,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    pub const ALL: [StallCause; 6] = [
+        StallCause::FenceWait,
+        StallCause::FenceDrain,
+        StallCause::OlWait,
+        StallCause::RegWait,
+        StallCause::Structural,
+        StallCause::CreditWait,
+    ];
+
+    /// Stable lowercase label for reports, JSON keys and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::FenceWait => "fence_wait",
+            StallCause::FenceDrain => "fence_drain",
+            StallCause::OlWait => "ol_wait",
+            StallCause::RegWait => "reg_wait",
+            StallCause::Structural => "structural",
+            StallCause::CreditWait => "credit_wait",
+        }
+    }
+}
+
 /// One cycle-stamped observation from the simulation.
 ///
 /// The taxonomy follows the paper's explanatory figures: warp activity
@@ -272,6 +317,63 @@ pub enum TraceEvent {
         /// Service latency in memory cycles.
         latency: u64,
     },
+    /// A run of core cycles an SM spent stalled on one cause (core
+    /// cycles; run-length batched — `cycles` contiguous stall cycles
+    /// ending at `cycle`). The backbone of the stall-attribution
+    /// profiler's conservation invariant.
+    CoreStall {
+        /// Core cycle of the last stall cycle in the run.
+        cycle: u64,
+        /// Stalled SM index.
+        sm: u32,
+        /// The typed cause the cycles are charged to.
+        cause: StallCause,
+        /// Stall cycles in this run (>= 1).
+        cycles: u64,
+    },
+    /// The FR-FCFS scheduler dequeued a transaction out of the ingress
+    /// transaction queues; `waited` is its enqueue-to-dequeue residency
+    /// — the MC queue-backpressure component of its lifecycle (memory
+    /// cycles).
+    ReqDequeued {
+        /// Memory cycle of the dequeue.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Target memory group.
+        group: u8,
+        /// Originating warp (flattened id).
+        warp: u32,
+        /// Per-warp sequence number (unique per warp).
+        seq: u64,
+        /// Destination bank (`0xff` for execute-only commands).
+        bank: u8,
+        /// Memory cycles spent in the ingress queue.
+        waited: u64,
+    },
+    /// Periodic NoC-pipe occupancy sample: requests in flight toward
+    /// the controller and responses on the return path (core cycles —
+    /// the pipes tick in the core domain).
+    PipeSample {
+        /// Core cycle of the sample.
+        cycle: u64,
+        /// Memory channel the pipe feeds.
+        channel: u8,
+        /// Requests in flight (interconnect + L2 + L2-out stages).
+        in_flight: u32,
+        /// Responses in flight on the return path.
+        returning: u32,
+    },
+    /// An all-bank refresh window opened; the channel accepts no
+    /// commands for `rfc` memory cycles (memory cycles).
+    RefreshWindow {
+        /// Memory cycle the refresh fired.
+        cycle: u64,
+        /// Memory channel.
+        channel: u8,
+        /// Refresh-cycle time: cycles the channel stays locked out.
+        rfc: u64,
+    },
 }
 
 /// The coarse category an event belongs to — one Perfetto "process" per
@@ -286,12 +388,19 @@ pub enum EventCategory {
     Scheduler,
     /// Per-bank DRAM command timeline.
     Dram,
+    /// NoC pipe occupancy between the SMs and the controllers.
+    Noc,
 }
 
 impl EventCategory {
     /// All categories, in display order.
-    pub const ALL: [EventCategory; 4] =
-        [EventCategory::Sm, EventCategory::Packet, EventCategory::Scheduler, EventCategory::Dram];
+    pub const ALL: [EventCategory; 5] = [
+        EventCategory::Sm,
+        EventCategory::Packet,
+        EventCategory::Scheduler,
+        EventCategory::Dram,
+        EventCategory::Noc,
+    ];
 
     /// Stable lowercase name (used as the Chrome `cat` field).
     #[must_use]
@@ -301,6 +410,7 @@ impl EventCategory {
             EventCategory::Packet => "packet",
             EventCategory::Scheduler => "scheduler",
             EventCategory::Dram => "dram",
+            EventCategory::Noc => "noc",
         }
     }
 }
@@ -313,17 +423,22 @@ impl TraceEvent {
             TraceEvent::WarpIssue { .. }
             | TraceEvent::WarpRetire { .. }
             | TraceEvent::FenceStallBegin { .. }
-            | TraceEvent::FenceStallEnd { .. } => EventCategory::Sm,
+            | TraceEvent::FenceStallEnd { .. }
+            | TraceEvent::CoreStall { .. } => EventCategory::Sm,
             TraceEvent::PacketCreated { .. }
             | TraceEvent::PacketEnqueued { .. }
             | TraceEvent::PacketMerged { .. }
             | TraceEvent::FenceAck { .. } => EventCategory::Packet,
             TraceEvent::ReqEnqueued { .. }
+            | TraceEvent::ReqDequeued { .. }
             | TraceEvent::ReqIssued { .. }
             | TraceEvent::SchedDecision { .. }
             | TraceEvent::QueueSample { .. }
             | TraceEvent::HostReadDone { .. } => EventCategory::Scheduler,
-            TraceEvent::DramCmd { .. } | TraceEvent::RowInterval { .. } => EventCategory::Dram,
+            TraceEvent::DramCmd { .. }
+            | TraceEvent::RowInterval { .. }
+            | TraceEvent::RefreshWindow { .. } => EventCategory::Dram,
+            TraceEvent::PipeSample { .. } => EventCategory::Noc,
         }
     }
 
@@ -345,7 +460,11 @@ impl TraceEvent {
             | TraceEvent::QueueSample { cycle, .. }
             | TraceEvent::DramCmd { cycle, .. }
             | TraceEvent::RowInterval { cycle, .. }
-            | TraceEvent::HostReadDone { cycle, .. } => cycle,
+            | TraceEvent::HostReadDone { cycle, .. }
+            | TraceEvent::CoreStall { cycle, .. }
+            | TraceEvent::ReqDequeued { cycle, .. }
+            | TraceEvent::PipeSample { cycle, .. }
+            | TraceEvent::RefreshWindow { cycle, .. } => cycle,
         }
     }
 
@@ -360,6 +479,8 @@ impl TraceEvent {
                 | TraceEvent::FenceStallBegin { .. }
                 | TraceEvent::FenceStallEnd { .. }
                 | TraceEvent::PacketCreated { .. }
+                | TraceEvent::CoreStall { .. }
+                | TraceEvent::PipeSample { .. }
         )
     }
 }
@@ -382,6 +503,43 @@ mod tests {
             TraceEvent::DramCmd { cycle: 5, channel: 0, bank: 2, kind: DramCmdKind::Read, row: 1 };
         assert_eq!(e.category(), EventCategory::Dram);
         assert_eq!(e.cycle(), 5);
+    }
+
+    #[test]
+    fn attribution_events_follow_their_emitters_clock_domains() {
+        let stall =
+            TraceEvent::CoreStall { cycle: 7, sm: 1, cause: StallCause::FenceWait, cycles: 3 };
+        assert_eq!(stall.category(), EventCategory::Sm);
+        assert!(stall.is_core_clock(), "SMs count core cycles");
+        assert_eq!(stall.cycle(), 7);
+        let deq = TraceEvent::ReqDequeued {
+            cycle: 11,
+            channel: 0,
+            group: 1,
+            warp: 2,
+            seq: 3,
+            bank: 4,
+            waited: 5,
+        };
+        assert_eq!(deq.category(), EventCategory::Scheduler);
+        assert!(!deq.is_core_clock(), "controllers count memory cycles");
+        let pipe = TraceEvent::PipeSample { cycle: 64, channel: 2, in_flight: 9, returning: 1 };
+        assert_eq!(pipe.category(), EventCategory::Noc);
+        assert!(pipe.is_core_clock(), "pipes tick in the core domain");
+        let refresh = TraceEvent::RefreshWindow { cycle: 3315, channel: 0, rfc: 298 };
+        assert_eq!(refresh.category(), EventCategory::Dram);
+        assert!(!refresh.is_core_clock());
+    }
+
+    #[test]
+    fn stall_cause_labels_are_unique_and_stable() {
+        let labels: Vec<&str> = StallCause::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), StallCause::ALL.len(), "labels must be unique");
+        assert_eq!(StallCause::FenceWait.label(), "fence_wait");
+        assert_eq!(StallCause::CreditWait.label(), "credit_wait");
     }
 
     #[test]

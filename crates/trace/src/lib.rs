@@ -48,6 +48,6 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::{ChromeTraceBuilder, ClockDomains};
-pub use event::{DramCmdKind, EventCategory, InstrKind, SchedSide, TraceEvent};
+pub use event::{DramCmdKind, EventCategory, InstrKind, SchedSide, StallCause, TraceEvent};
 pub use metrics::{CounterRegistry, Histogram};
-pub use sink::{NopSink, RingSink, SharedSink, TraceSink};
+pub use sink::{NopSink, RingSink, SharedSink, TeeSink, TraceSink};

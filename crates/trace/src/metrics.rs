@@ -116,6 +116,34 @@ impl Histogram {
         (self.total > 0).then_some(self.max)
     }
 
+    /// Bucket-resolution estimate of the `p`-th percentile (`0.0..=1.0`)
+    /// of the recorded values; `None` when empty.
+    ///
+    /// Walks the cumulative counts to the bucket holding the requested
+    /// rank and reports that bucket's inclusive upper edge, clamped to
+    /// the recorded `min`/`max` so boundary percentiles are exact and
+    /// the estimate never leaves the observed range. The overflow
+    /// bucket reports `max`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the percentile value, 1-based (ceil, so p=1.0 is the
+        // last recorded value and p=0.0 the first).
+        let rank = ((p * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let est = self.edges.get(i).copied().unwrap_or(self.max);
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// `(label, count)` rows for chart rendering: `"<=N"` per edge plus
     /// a final `">N"` overflow row.
     #[must_use]
@@ -295,6 +323,34 @@ mod tests {
         h.record(4);
         h.record(8);
         assert!((h.mean() - 6.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_counts() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.percentile(0.5), None, "empty histogram has no percentiles");
+        for v in [5, 6, 7, 50, 60, 70, 80, 500, 600, 5000] {
+            h.record(v);
+        }
+        // 10 values: ranks 1-3 in <=10, 4-7 in <=100, 8-9 in <=1000,
+        // 10 in overflow.
+        assert_eq!(h.percentile(0.5), Some(100));
+        assert_eq!(h.percentile(0.9), Some(1000));
+        assert_eq!(h.percentile(1.0), Some(5000), "overflow bucket reports max");
+        assert_eq!(h.percentile(0.0), Some(10), "lowest rank clamps into bucket edge");
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_range() {
+        let mut h = Histogram::new(vec![1000]);
+        h.record(3);
+        h.record(4);
+        // Bucket edge is 1000 but nothing above 4 was seen.
+        assert_eq!(h.percentile(0.5), Some(4));
+        assert_eq!(h.percentile(0.99), Some(4));
+        let mut h = Histogram::exponential(1, 8);
+        h.record(40);
+        assert_eq!(h.percentile(0.5), Some(40), "single value is every percentile");
     }
 
     #[test]

@@ -108,6 +108,38 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Fans every event out to two sinks, so one run can feed independent
+/// consumers — e.g. a [`RingSink`] for the Chrome export alongside a
+/// streaming profiler aggregation.
+#[derive(Debug)]
+pub struct TeeSink {
+    a: SharedSink,
+    b: SharedSink,
+}
+
+impl TeeSink {
+    /// Creates a sink forwarding to both `a` and `b`.
+    #[must_use]
+    pub fn new(a: SharedSink, b: SharedSink) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn emit(&self, event: TraceEvent) {
+        if self.a.is_enabled() {
+            self.a.emit(event);
+        }
+        if self.b.is_enabled() {
+            self.b.emit(event);
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.a.is_enabled() || self.b.is_enabled()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +167,18 @@ mod tests {
         assert_eq!(s.dropped(), 2);
         let cycles: Vec<u64> = s.events().iter().map(TraceEvent::cycle).collect();
         assert_eq!(cycles, vec![0, 1, 2], "oldest events survive");
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_and_reports_enablement() {
+        let a = Arc::new(RingSink::new(4));
+        let b = Arc::new(RingSink::new(4));
+        let tee = TeeSink::new(a.clone(), b.clone());
+        assert!(tee.is_enabled());
+        tee.emit(ev(1));
+        assert_eq!((a.len(), b.len()), (1, 1));
+        let dead = TeeSink::new(nop_sink(), nop_sink());
+        assert!(!dead.is_enabled(), "two disabled sinks stay disabled");
     }
 
     #[test]

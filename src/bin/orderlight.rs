@@ -6,6 +6,7 @@
 //! orderlight check [run flags] [--faults none|noc|sched|storm|all]
 //!                  [--seed N] [--mutate CH:G]
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
+//! orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
 //! orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]
 //! orderlight list
@@ -15,7 +16,9 @@
 //! Every subcommand also accepts `--core cycle|event` (default: event,
 //! or `ORDERLIGHT_CORE`), selecting the dense per-cycle simulation core
 //! or the bit-identical event-driven time-skip core (see `DESIGN.md`,
-//! "Quiescence contract"). Traced runs always use the dense core.
+//! "Quiescence contract"). Traced and profiled runs ride a live trace
+//! sink and therefore always use the dense core; both commands print a
+//! one-line notice when `--core event` was selected.
 //!
 //! Examples:
 //!
@@ -31,6 +34,17 @@
 //! `<out>.trace.json` (Chrome trace-event JSON — load it at
 //! <https://ui.perfetto.dev>), `<out>.counters.csv` (epoch-segmented
 //! counters) and a text summary with latency histograms to stdout.
+//!
+//! `profile` runs the workload with the stall-attribution profiler
+//! attached: every core stall cycle is charged to a typed cause (fence
+//! wait/drain, OrderLight spacing, register, structural, credits) and
+//! the request/packet lifecycle is decomposed into per-phase latencies
+//! (NoC traversal, MC ingress queue, bank timing, barrier hold, fence
+//! round trip, refresh lockout). The breakdown is checked against the
+//! run's own stall counters — the conservation invariant — and the
+//! command exits non-zero if a single cycle is unaccounted for. Writes
+//! `<out>.profile.json` (machine-readable breakdown) and
+//! `<out>.trace.json` (Chrome trace with queue/pipe counter tracks).
 //!
 //! `sweep` regenerates the design-space sweeps behind Figures 5/10/12/13
 //! as CSV on stdout, executed across `--jobs` workers (default: the
@@ -57,6 +71,7 @@
 use orderlight_suite::check::check_scenario;
 use orderlight_suite::core::fault::{DropEdge, FaultPlan, NocJitter, RefreshStorm};
 use orderlight_suite::pim::TsSize;
+use orderlight_suite::profile::profile_scenario_with;
 use orderlight_suite::sim::config::ExecMode;
 use orderlight_suite::sim::core_select::{set_core_override, take_core_flag, SimCore};
 use orderlight_suite::sim::experiments::{
@@ -78,7 +93,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile always run on the dense cycle core)"
     );
     ExitCode::from(2)
 }
@@ -438,10 +453,11 @@ fn row_residency_histogram(events: &[TraceEvent]) -> Histogram {
 /// Epoch-segmented counters: the run is cut into `epochs` equal
 /// wall-clock windows and every event tallied into its window.
 fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -> CounterRegistry {
-    const NAMES: [&str; 19] = [
+    const NAMES: [&str; 22] = [
         "sm.warp_issue",
         "sm.warp_retire",
         "sm.fence_stalls",
+        "sm.stall_cycles",
         "packet.created",
         "packet.enqueued",
         "packet.merged",
@@ -450,6 +466,7 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
         "sched.picks_wr",
         "sched.row_hits",
         "sched.req_enqueued",
+        "sched.req_dequeued",
         "sched.req_issued",
         "dram.act",
         "dram.pre",
@@ -457,6 +474,7 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
         "dram.wr",
         "dram.exec",
         "dram.row_closes",
+        "dram.refreshes",
         "host.reads_done",
     ];
     let mut reg = CounterRegistry::new();
@@ -479,6 +497,12 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
                 TraceEvent::WarpRetire { .. } => "sm.warp_retire",
                 TraceEvent::FenceStallBegin { .. } => "sm.fence_stalls",
                 TraceEvent::FenceStallEnd { .. } => continue,
+                TraceEvent::CoreStall { cycles, .. } => {
+                    // Weight by the run length: the counter carries
+                    // stall *cycles*, not stall runs.
+                    reg.add("sm.stall_cycles", *cycles as f64);
+                    continue;
+                }
                 TraceEvent::PacketCreated { .. } => "packet.created",
                 TraceEvent::PacketEnqueued { .. } => "packet.enqueued",
                 TraceEvent::PacketMerged { .. } => "packet.merged",
@@ -493,8 +517,9 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
                     }
                 }
                 TraceEvent::ReqEnqueued { .. } => "sched.req_enqueued",
+                TraceEvent::ReqDequeued { .. } => "sched.req_dequeued",
                 TraceEvent::ReqIssued { .. } => "sched.req_issued",
-                TraceEvent::QueueSample { .. } => continue,
+                TraceEvent::QueueSample { .. } | TraceEvent::PipeSample { .. } => continue,
                 TraceEvent::DramCmd { kind, .. } => match kind {
                     DramCmdKind::Activate => "dram.act",
                     DramCmdKind::Precharge => "dram.pre",
@@ -503,6 +528,7 @@ fn build_counters(events: &[TraceEvent], clocks: &ClockDomains, epochs: usize) -
                     DramCmdKind::Exec => "dram.exec",
                 },
                 TraceEvent::RowInterval { .. } => "dram.row_closes",
+                TraceEvent::RefreshWindow { .. } => "dram.refreshes",
                 TraceEvent::HostReadDone { .. } => "host.reads_done",
             };
             reg.add(name, 1.0);
@@ -527,14 +553,11 @@ fn print_histogram(title: &str, hist: &Histogram) {
     println!("{}", bar_chart(&rows, 40));
 }
 
-fn cmd_trace(args: &[String]) -> ExitCode {
-    let mut opts = RunOpts::default();
+/// Parses the flag set shared by `trace` and `profile`: an optional
+/// positional workload, the common run flags, `--out` and `--events`.
+fn parse_capture_args(args: &[String], opts: &mut RunOpts) -> Result<(String, usize), ExitCode> {
     let mut out = "orderlight".to_string();
     let mut capacity = 4_000_000usize;
-    // Keep the default traced run small: traces of the full-size default
-    // job are hundreds of MB of JSON.
-    opts.data_kb = 16;
-
     let mut rest = args;
     // Optional positional workload name first: `orderlight trace Add`.
     if let Some(first) = rest.first() {
@@ -543,7 +566,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 Some(w) => opts.workload = w,
                 None => {
                     eprintln!("unknown workload '{first}'");
-                    return usage();
+                    return Err(usage());
                 }
             }
             rest = &rest[1..];
@@ -553,7 +576,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
             eprintln!("missing value for {flag}");
-            return usage();
+            return Err(usage());
         };
         let ok = match flag.as_str() {
             "--out" | "-o" => {
@@ -561,24 +584,46 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 true
             }
             "--events" => value.parse().map(|v: usize| capacity = v.max(1)).is_ok(),
-            _ => match apply_common_flag(&mut opts, flag, value) {
+            _ => match apply_common_flag(opts, flag, value) {
                 Some(ok) => ok,
                 None => {
                     eprintln!("unknown flag {flag}");
-                    return usage();
+                    return Err(usage());
                 }
             },
         };
         if !ok {
             eprintln!("invalid value '{value}' for {flag}");
-            return usage();
+            return Err(usage());
         }
     }
+    Ok((out, capacity))
+}
+
+/// The one-line satellite notice: a live sink forces the dense core, so
+/// a requested `--core event` is ignored rather than silently honoured.
+fn note_forced_cycle_core(command: &str, core: SimCore) {
+    if core == SimCore::Event {
+        println!(
+            "note: {command} rides a live trace sink and always runs on the dense cycle core; --core event is ignored"
+        );
+    }
+}
+
+fn cmd_trace(args: &[String], core: SimCore) -> ExitCode {
+    // Keep the default traced run small: traces of the full-size default
+    // job are hundreds of MB of JSON.
+    let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
+    let (out, capacity) = match parse_capture_args(args, &mut opts) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
 
     println!(
         "tracing {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
         opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
+    note_forced_cycle_core("trace", core);
     let ring = Arc::new(RingSink::new(capacity));
     let traced = opts
         .builder()
@@ -595,7 +640,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     };
     let correct = print_stats(&stats);
     let events = ring.events();
-    println!("\ncaptured {} trace events", events.len());
+    println!("\ncaptured {} trace events ({} dropped)", events.len(), ring.dropped());
     if ring.dropped() > 0 {
         println!(
             "  WARNING: ring full, {} later events dropped — raise --events (current {capacity})",
@@ -633,7 +678,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 
     let trace_path = format!("{out}.trace.json");
     let csv_path = format!("{out}.counters.csv");
-    let json = ChromeTraceBuilder::new(clocks).build(&events);
+    let json = ChromeTraceBuilder::new(clocks).build_with_drops(&events, ring.dropped());
     if let Err(e) = std::fs::write(&trace_path, json) {
         eprintln!("cannot write {trace_path}: {e}");
         return ExitCode::FAILURE;
@@ -651,15 +696,127 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_profile(args: &[String], core: SimCore) -> ExitCode {
+    // Same default sizing as `trace`: the profiled run streams into the
+    // aggregation, but the teed ring still backs the Chrome export.
+    let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
+    let (out, capacity) = match parse_capture_args(args, &mut opts) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+
+    println!(
+        "profiling {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
+        opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
+    );
+    note_forced_cycle_core("profile", core);
+    let ring = Arc::new(RingSink::new(capacity));
+    let outcome = match opts
+        .builder()
+        .build()
+        .map_err(|e| e.to_string())
+        .and_then(|s| profile_scenario_with(&s, Some(ring.clone())).map_err(|e| e.to_string()))
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let correct = print_stats(&outcome.stats);
+    println!("\ncaptured {} trace events ({} dropped)", ring.len(), ring.dropped());
+    if ring.dropped() > 0 {
+        println!(
+            "  WARNING: ring full, {} later events dropped — the Chrome export is truncated; the profile itself streams and stays exact (raise --events, current {capacity})",
+            ring.dropped()
+        );
+    }
+    println!();
+    print!("{}", outcome.report.to_text());
+    println!("\n{}", outcome.summary());
+
+    let profile_path = format!("{out}.profile.json");
+    let trace_path = format!("{out}.trace.json");
+    let mut profile_json = outcome.report.to_json();
+    profile_json.push('\n');
+    if let Err(e) = std::fs::write(&profile_path, profile_json) {
+        eprintln!("cannot write {profile_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let chrome =
+        ChromeTraceBuilder::new(outcome.clocks).build_with_drops(&ring.events(), ring.dropped());
+    if let Err(e) = std::fs::write(&trace_path, chrome) {
+        eprintln!("cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {profile_path} and {trace_path} (open at https://ui.perfetto.dev)");
+    if !outcome.is_conserved() {
+        eprintln!("profile FAILED its conservation invariant — see summary above");
+        return ExitCode::FAILURE;
+    }
+    if correct {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates `*.profile.json` files with the in-tree JSON parser: each
+/// must parse, carry the `orderlight/profile/v1` schema tag, and hold
+/// an internally consistent stall breakdown (per-cause sum == total).
+/// The CI gate runs this on the freshly profiled Figure 5 scenarios.
+fn cmd_profile_verify(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("profile-verify needs at least one PROFILE.json path");
+        return usage();
+    }
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match orderlight_suite::trace::json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: does not parse: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if doc.get("schema").and_then(|v| v.as_str()) != Some("orderlight/profile/v1") {
+            eprintln!("{path}: missing or wrong schema tag");
+            return ExitCode::FAILURE;
+        }
+        let Some(stalls) = doc.get("stalls") else {
+            eprintln!("{path}: no stall breakdown");
+            return ExitCode::FAILURE;
+        };
+        let total = stalls.get("total").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        let sum: f64 =
+            ["fence_wait", "fence_drain", "ol_wait", "reg_wait", "structural", "credit_wait"]
+                .iter()
+                .map(|k| stalls.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN))
+                .sum();
+        if !(sum.is_finite() && total >= 0.0 && (sum - total).abs() < 0.5) {
+            eprintln!("{path}: stall causes sum to {sum}, total says {total}");
+            return ExitCode::FAILURE;
+        }
+        println!("{path}: ok ({total} stall cycles attributed)");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The CSV schema shared by `orderlight sweep` and the `sweep_csv`
 /// bench binary.
-const SWEEP_CSV_HEADER: &str = "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,primitives,prim_per_instr,verified";
+const SWEEP_CSV_HEADER: &str = "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified";
 
 fn emit_sweep_csv(figure: &str, rows: &[SweepPoint]) {
     for p in rows {
         let s = &p.stats;
         println!(
-            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{}",
+            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
             p.workload,
             p.ts.replace(' ', ""),
             p.mode,
@@ -668,6 +825,11 @@ fn emit_sweep_csv(figure: &str, rows: &[SweepPoint]) {
             s.command_bandwidth_gcs,
             s.data_bandwidth_gbs,
             s.stall_cycles(),
+            s.sm.fence_stall_cycles,
+            s.sm.ol_wait_cycles,
+            s.sm.reg_wait_cycles,
+            s.sm.structural_stall_cycles,
+            s.sm.credit_wait_cycles,
             s.sm.fences + s.sm.orderlights,
             s.primitives_per_pim_instr,
             if s.is_correct() { "pass" } else { "FAIL" },
@@ -835,6 +997,7 @@ fn bench_json(
     points: usize,
     serial_s: f64,
     parallel_s: f64,
+    latency_us: (u64, u64, u64),
     figs_json: &str,
     identical: bool,
     cores_identical: bool,
@@ -842,7 +1005,10 @@ fn bench_json(
     let rate = |secs: f64| if secs > 0.0 { points as f64 / secs } else { 0.0 };
     let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
     format!(
-        "{{\n  \"schema\": \"orderlight/bench-sweep/v2\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical}\n}}\n",
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v3\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"point_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical}\n}}\n",
+        p50 = latency_us.0,
+        p95 = latency_us.1,
+        p99 = latency_us.2,
         core = core.as_str(),
         avail = available_jobs(),
         sr = rate(serial_s),
@@ -917,16 +1083,28 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The timed serial leg runs point by point (the same loop
+    // `run_points_serial` performs) so each point's wall latency lands
+    // in a histogram for the p50/p95/p99 summary.
     let t0 = std::time::Instant::now();
-    let serial = match run_points_serial(&specs) {
-        Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("serial sweep failed: {e}");
-            return ExitCode::FAILURE;
+    let mut point_lat_us = Histogram::exponential(64, 24);
+    let mut serial = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let tp = std::time::Instant::now();
+        match spec.run() {
+            Ok(row) => serial.push(row),
+            Err(e) => {
+                eprintln!("serial sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
+        point_lat_us.record(u64::try_from(tp.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
     let serial_s = t0.elapsed().as_secs_f64();
     println!("  serial  : {serial_s:.3} s  ({:.2} points/s)", specs.len() as f64 / serial_s);
+    let pct = |p: f64| point_lat_us.percentile(p).unwrap_or(0);
+    let (lat_p50, lat_p95, lat_p99) = (pct(0.50), pct(0.95), pct(0.99));
+    println!("  latency : per-point p50 {lat_p50} us, p95 {lat_p95} us, p99 {lat_p99} us");
 
     let pool = Pool::new(jobs);
     let t1 = std::time::Instant::now();
@@ -1007,6 +1185,7 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         specs.len(),
         serial_s,
         parallel_s,
+        (lat_p50, lat_p95, lat_p99),
         &figs_json,
         identical,
         cores_identical,
@@ -1038,7 +1217,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..], core),
+        Some("profile") => cmd_profile(&args[1..], core),
+        Some("profile-verify") => cmd_profile_verify(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..], core),
         Some("list") => cmd_list(),

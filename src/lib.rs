@@ -20,6 +20,7 @@
 //! | [`sim`] | `orderlight-sim` | full-system assembly, [`ScenarioBuilder`](sim::ScenarioBuilder), experiments for every figure |
 //! | [`trace`] | `orderlight-trace` | cycle-level trace events, sinks, histograms, Perfetto export |
 //! | [`check`] | `orderlight-check` | happens-before ordering oracle + fault-injection check harness |
+//! | [`profile`] | `orderlight-profile` | stall-attribution profiler: lifecycle spans + conservation-checked stall causes |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use orderlight_hbm as hbm;
 pub use orderlight_memctrl as memctrl;
 pub use orderlight_noc as noc;
 pub use orderlight_pim as pim;
+pub use orderlight_profile as profile;
 pub use orderlight_sim as sim;
 pub use orderlight_trace as trace;
 pub use orderlight_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Acceptance gates of the stall-attribution profiler:
+//!
+//! 1. **Conservation** — on every figure scenario profiled, the sum of
+//!    attributed stall cycles per cause equals the fence/OrderLight
+//!    stall counters the SMs maintain independently. Not a tolerance
+//!    check: exact equality, per cause and in total.
+//! 2. **Parallel determinism** — profiling a figure's design points at
+//!    `--jobs 1` and `--jobs 8` yields byte-identical serialized
+//!    reports (the JSON strings are compared, not just the structs).
+//! 3. **Observe-only** — attaching the profiler changes no simulated
+//!    outcome: `RunStats` are bit-identical to an unprofiled run on the
+//!    cycle core (which a live sink forces anyway).
+//!
+//! The full fig05 sweep runs in the fast tier; the broader fig10/fig12
+//! sweeps are tier 2 (`--include-ignored` / `ORDERLIGHT_TIER2=1`).
+
+use orderlight_suite::profile::{profile_points, profile_scenario, ProfileOutcome};
+use orderlight_suite::sim::experiments::{fig05_points, fig10_points, fig12_points, JobSpec};
+use orderlight_suite::sim::pool::Pool;
+use orderlight_suite::sim::SimCore;
+use orderlight_suite::trace::StallCause;
+
+/// Small enough that a full figure sweep is sub-second, large enough
+/// that every kernel still streams multiple row-buffer tiles.
+const DATA: u64 = 8 * 1024;
+
+fn assert_conserved(figure: &str, outcomes: &[ProfileOutcome]) {
+    for (i, o) in outcomes.iter().enumerate() {
+        assert!(o.is_conserved(), "{figure} point {i}: {}", o.summary());
+        // Spell the per-cause equations out, so a regression names the
+        // counter rather than just "not conserved".
+        assert_eq!(
+            o.report.stall(StallCause::FenceWait) + o.report.stall(StallCause::FenceDrain),
+            o.stats.sm.fence_stall_cycles,
+            "{figure} point {i}: fence cycles"
+        );
+        assert_eq!(
+            o.report.stall(StallCause::OlWait),
+            o.stats.sm.ol_wait_cycles,
+            "{figure} point {i}: orderlight wait cycles"
+        );
+        assert_eq!(
+            o.report.stall(StallCause::CreditWait),
+            o.stats.sm.credit_wait_cycles,
+            "{figure} point {i}: credit wait cycles"
+        );
+        assert_eq!(
+            o.report.total_attributed(),
+            o.stats.stall_cycles(),
+            "{figure} point {i}: total attributed cycles"
+        );
+    }
+}
+
+fn assert_jobs_invariant(figure: &str, specs: &[JobSpec]) {
+    let serial = profile_points(specs, &Pool::new(1)).expect("serial profile sweep runs");
+    assert_eq!(serial.len(), specs.len(), "{figure}: one outcome per spec");
+    assert_conserved(figure, &serial);
+    let parallel = profile_points(specs, &Pool::new(8)).expect("parallel profile sweep runs");
+    assert_eq!(parallel, serial, "{figure}: outcomes must be bit-identical across job counts");
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "{figure} point {i}: serialized reports must match byte for byte"
+        );
+    }
+}
+
+#[test]
+fn fig05_profiles_conserve_across_job_counts() {
+    assert_jobs_invariant("fig05", &fig05_points(DATA));
+}
+
+#[test]
+#[ignore = "tier 2: profiles the full Figure 10 sweep twice; run via --include-ignored or ORDERLIGHT_TIER2=1 ./ci.sh"]
+fn fig10_profiles_conserve_across_job_counts() {
+    assert_jobs_invariant("fig10", &fig10_points(DATA));
+}
+
+#[test]
+#[ignore = "tier 2: profiles the full Figure 12 sweep twice; run via --include-ignored or ORDERLIGHT_TIER2=1 ./ci.sh"]
+fn fig12_profiles_conserve_across_job_counts() {
+    assert_jobs_invariant("fig12", &fig12_points(DATA));
+}
+
+#[test]
+fn fig10_and_fig12_representatives_conserve() {
+    // Fast-tier coverage of the tier-2 sweeps: a spread of points from
+    // each (different workloads, orderings and BMFs), profiled once.
+    for (figure, points) in [("fig10", fig10_points(DATA)), ("fig12", fig12_points(DATA))] {
+        let sample: Vec<JobSpec> = points.iter().copied().step_by(9).collect();
+        assert!(sample.len() >= 4, "{figure}: sample too thin");
+        let outcomes = profile_points(&sample, &Pool::new(2)).expect("sampled profiles run");
+        assert_conserved(figure, &outcomes);
+    }
+}
+
+#[test]
+fn profiler_is_observe_only() {
+    // A live sink forces the cycle core, so the unprofiled baseline is
+    // pinned there too; beyond that the profiler must change nothing.
+    for spec in fig05_points(DATA) {
+        let baseline = spec
+            .builder()
+            .core(SimCore::Cycle)
+            .build()
+            .expect("baseline builds")
+            .run()
+            .expect("baseline runs");
+        let profiled = profile_scenario(&spec.builder().build().expect("profiled builds"))
+            .expect("profiled run succeeds");
+        assert_eq!(
+            profiled.stats, baseline,
+            "{} {}: profiling must not perturb the run",
+            spec.workload, spec.mode
+        );
+    }
+}
