@@ -54,25 +54,47 @@ echo "==> orderlight check (oracle gate, both cores)"
 echo "==> orderlight check --mutate (oracle mutation gate)"
 ./target/release/orderlight check --core event --data-kb 32 --mutate 0:0
 
-# Stall-attribution profiler gate: profile the Figure 5 scenario pair
-# (fence baseline and OrderLight). `profile` itself exits non-zero if
-# a single stall cycle is attributed to no cause (the conservation
-# invariant); `profile-verify` then re-reads the emitted JSON with the
-# in-tree parser and re-checks the breakdown sums.
-echo "==> orderlight profile (conservation gate, fig05 scenario)"
+# Stall-attribution profiler gate, under the EVENT core: profile the
+# Figure 5 scenario pair (fence baseline and OrderLight) on the
+# time-skip core we ship. `profile` itself exits non-zero if a single
+# stall cycle is attributed to no cause (the conservation invariant —
+# which skip-boundary event synthesis must uphold bit-identically);
+# `profile-verify` then re-reads the emitted JSON with the in-tree
+# parser and re-checks the breakdown sums. A cycle-core leg of the
+# fence scenario cross-checks that both cores serialize the same
+# report bytes.
+echo "==> orderlight profile (conservation gate, fig05 scenario, event core)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-./target/release/orderlight profile Add --mode fence --data-kb 32 --out "$tmpdir/fig05_fence"
-./target/release/orderlight profile Add --mode orderlight --data-kb 32 --out "$tmpdir/fig05_ol"
+./target/release/orderlight profile Add --mode fence --core event --data-kb 32 \
+    --out "$tmpdir/fig05_fence"
+./target/release/orderlight profile Add --mode orderlight --core event --data-kb 32 \
+    --out "$tmpdir/fig05_ol"
 ./target/release/orderlight profile-verify "$tmpdir/fig05_fence.profile.json" \
     "$tmpdir/fig05_ol.profile.json"
+./target/release/orderlight profile Add --mode fence --core cycle --data-kb 32 \
+    --out "$tmpdir/fig05_fence_cycle"
+cmp "$tmpdir/fig05_fence.profile.json" "$tmpdir/fig05_fence_cycle.profile.json" \
+    || { echo "profile JSON differs between cores"; exit 1; }
 
 # Sweep regression benchmark: re-runs every figure sweep serial vs
 # parallel AND cycle-core vs event-core in release mode, failing on
-# any bit-level mismatch. The JSON also records wall-clock, points/sec
-# and per-figure event-core speedup for the host.
-echo "==> orderlight bench --quick (sweep + core regression)"
-./target/release/orderlight bench --quick --out BENCH_sweep.json
+# any bit-level mismatch. `--profile` additionally re-runs each figure
+# under the event core with the profiler attached (failing on any
+# conservation violation) and records per-cause stall deltas plus the
+# observability overhead in the schema-v4 JSON.
+echo "==> orderlight bench --quick --profile (sweep + core + observability regression)"
+./target/release/orderlight bench --quick --profile --out BENCH_sweep.json
 echo "    wrote BENCH_sweep.json"
+
+# Observability overhead budget: the profiled event-core fig05 sweep
+# must cost at most 1.5x its unprofiled wall time. The per-figure
+# profile entries are single-line JSON objects, so grep + awk suffice.
+echo "==> observability overhead budget (fig05 <= 1.5x)"
+overhead="$(grep -o '"figure": "fig05"[^}]*"overhead": [0-9.]*' BENCH_sweep.json \
+    | grep -o '"overhead": [0-9.]*' | awk '{print $2}')"
+echo "    fig05 profiled/unprofiled overhead: ${overhead}x"
+awk -v o="$overhead" 'BEGIN { exit !(o <= 1.5) }' \
+    || { echo "fig05 observability overhead ${overhead}x exceeds the 1.5x budget"; exit 1; }
 
 echo "CI green."

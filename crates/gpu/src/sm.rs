@@ -583,7 +583,17 @@ impl Sm {
     /// fence-parked warp and every blocked ready warp charges its stall
     /// counter for the whole span (the blocker cannot change inside the
     /// window — every unblock source is itself a horizon event), and
-    /// the round-robin pointer advances once per skipped cycle.
+    /// the round-robin pointer advances once per skipped cycle. With a
+    /// live sink, the span-wide charge folds into the same `CoreStall`
+    /// run the dense loop would have extended cycle by cycle
+    /// ([`note_stall`](Self::note_stall)'s contiguity merge treats an
+    /// N-cycle extension like N one-cycle ones), so the emitted
+    /// run-length stream is byte-identical across cores. `WarpRetire`
+    /// needs no synthesis: a warp's last drain pins the horizon, so
+    /// retire scans always run densely. (The dense tick that performs a
+    /// given scan may land a few cycles apart across cores, so retire
+    /// *stamps* can differ while retire *counts* match — the profiler
+    /// only counts them.)
     ///
     /// # Panics
     /// Panics if a ready warp could in fact issue — the caller skipped

@@ -162,7 +162,10 @@ impl Channel {
     /// Advances refresh bookkeeping: once a refresh is due and every
     /// open bank may legally precharge, all rows are closed and the
     /// channel is occupied for tRFC cycles. Call once per memory cycle
-    /// (the controller does).
+    /// (the controller does). The `RefreshWindow` trace event emitted
+    /// here needs no skip-boundary synthesis: the refresh countdown is
+    /// a quiescence-horizon event (`next_refresh_event`), so the event
+    /// core always ticks the triggering cycle densely.
     pub fn maintain(&mut self, now: MemCycle) {
         let Some(r) = self.refresh else { return };
         if let Some(until) = self.refresh_until {

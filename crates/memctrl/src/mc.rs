@@ -15,6 +15,14 @@ use orderlight_pim::PimUnit;
 use orderlight_trace::{sink::nop_sink, DramCmdKind, SchedSide, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
+/// Memory cycles between [`TraceEvent::QueueSample`] emissions. The
+/// dense tick samples at every multiple of this stride, and
+/// [`MemoryController::skip_ticks`] synthesizes the same samples
+/// closed-form across skipped windows, so the sample stream is
+/// byte-identical under both cores. (The NoC pipe uses the same stride
+/// value in *core* cycles for its `PipeSample` stream.)
+const SAMPLE_STRIDE: u64 = 64;
+
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PagePolicy {
@@ -795,7 +803,7 @@ impl MemoryController {
         self.write_q.record_tick();
         // Periodic occupancy sample for counter tracks (every 64 memory
         // cycles keeps trace volume proportional to runtime, not work).
-        if self.sink.is_enabled() && now.is_multiple_of(64) {
+        if self.sink.is_enabled() && now.is_multiple_of(SAMPLE_STRIDE) {
             self.sink.emit(TraceEvent::QueueSample {
                 cycle: now,
                 channel: self.channel_id,
@@ -814,8 +822,13 @@ impl MemoryController {
     /// find the controller idle and change nothing beyond per-cycle
     /// bookkeeping. Replays that bookkeeping in closed form: the
     /// occupancy integrals (at occupancy zero), the write-drain
-    /// hysteresis (which re-evaluates an empty queue every cycle), and
-    /// the arrival stamp used for requests pushed between memory ticks.
+    /// hysteresis (which re-evaluates an empty queue every cycle), the
+    /// arrival stamp used for requests pushed between memory ticks,
+    /// and — with a live sink — the periodic queue samples the dense
+    /// loop would have emitted at every `SAMPLE_STRIDE` boundary inside
+    /// the window (the controller is idle, so each sample reads the
+    /// constant occupancies, making the event core's sample stream
+    /// byte-identical to the dense core's).
     ///
     /// The caller must not skip across a refresh trigger;
     /// [`Channel::next_refresh_event`] is a horizon event precisely so
@@ -829,6 +842,20 @@ impl MemoryController {
             self.channel.next_refresh_event(now).is_none_or(|due| due >= now + ticks),
             "skip_ticks window crosses a refresh trigger"
         );
+        if self.sink.is_enabled() {
+            let read_q = self.read_q.len() as u32;
+            let write_q = self.write_q.len() as u32;
+            let mut cycle = now.next_multiple_of(SAMPLE_STRIDE);
+            while cycle < now + ticks {
+                self.sink.emit(TraceEvent::QueueSample {
+                    cycle,
+                    channel: self.channel_id,
+                    read_q,
+                    write_q,
+                });
+                cycle += SAMPLE_STRIDE;
+            }
+        }
         self.arrival_cycle = now + ticks - 1;
         self.read_q.record_ticks(ticks);
         self.write_q.record_ticks(ticks);

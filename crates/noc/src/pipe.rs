@@ -215,7 +215,29 @@ impl MemoryPipe {
     /// (one in which [`tick`](Self::tick) would move no traffic). The
     /// delay queues store absolute ready stamps, so only the L2 slice's
     /// round-robin pointer needs closed-form advancement.
+    ///
+    /// With a live sink attached the window's occupancy samples are
+    /// synthesized here: the dense loop emits a
+    /// [`TraceEvent::PipeSample`] at every `SAMPLE_STRIDE` boundary,
+    /// and a quiescent window moves no traffic, so every sample inside
+    /// `[now, now + span)` carries the occupancies frozen at `now` —
+    /// the event core's sample stream is byte-identical to the dense
+    /// core's.
     pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
+        if self.sink.is_enabled() {
+            let in_flight = (self.icnt.len() + self.l2.len() + self.out.len()) as u32;
+            let returning = self.ret.len() as u32;
+            let mut cycle = now.next_multiple_of(SAMPLE_STRIDE);
+            while cycle < now + span {
+                self.sink.emit(TraceEvent::PipeSample {
+                    cycle,
+                    channel: self.channel_id,
+                    in_flight,
+                    returning,
+                });
+                cycle += SAMPLE_STRIDE;
+            }
+        }
         self.l2.skip_quiescent(now, span);
     }
 }

@@ -20,10 +20,12 @@
 //!   round trips, and refresh lockout windows.
 //!
 //! [`StallProfiler`] is a passive [`orderlight_trace::TraceSink`]; it
-//! aggregates in-stream and never influences simulated behaviour. Like
-//! any live sink it rides the full-system trace path, so a profiled
-//! run is forced onto the dense cycle core — the same rule traced runs
-//! follow (see `System::run_with`).
+//! aggregates in-stream and never influences simulated behaviour. It
+//! works under **both** execution cores: every component synthesizes
+//! its periodic trace events closed-form at skip boundaries, and every
+//! aggregate here is order-insensitive, so the report is byte-identical
+//! across cores and the conservation invariant holds bit-identically
+//! (enforced by `tests/profile_core_equivalence.rs`).
 //!
 //! ```
 //! use orderlight_profile::profile_scenario;

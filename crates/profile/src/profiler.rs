@@ -33,8 +33,10 @@ struct State {
 /// memory proportional to *in-flight* work, not trace length.
 ///
 /// Attach it with `System::attach_sink` (or through
-/// [`crate::profile_scenario`]); reporting itself enabled is what
-/// forces the profiled run onto the dense cycle core.
+/// [`crate::profile_scenario`]). The aggregation is order-insensitive
+/// over the events it folds, and every emitter synthesizes its periodic
+/// events at skip boundaries, so the report is byte-identical whether
+/// the run used the dense cycle core or the event core.
 #[derive(Debug)]
 pub struct StallProfiler {
     clocks: ClockDomains,

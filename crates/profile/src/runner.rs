@@ -12,8 +12,8 @@ use std::sync::Arc;
 /// Everything a profiled run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileOutcome {
-    /// The run's ordinary statistics (forced onto the cycle core by the
-    /// attached sink, like any traced run).
+    /// The run's ordinary statistics, bit-identical to an unprofiled
+    /// run on the same core (the profiler only observes).
     pub stats: RunStats,
     /// The stall attribution and lifecycle decomposition.
     pub report: ProfileReport,
@@ -49,9 +49,9 @@ impl ProfileOutcome {
 }
 
 /// Runs `scenario` with a [`StallProfiler`] attached as the full-system
-/// trace sink and returns the attribution. Because a live sink forces
-/// the dense cycle core, a profiled run ignores a requested event core
-/// — the same rule `orderlight trace` follows.
+/// trace sink and returns the attribution. The run uses whichever core
+/// the scenario selects — skip boundaries synthesize the periodic
+/// events, so the report is byte-identical across cores.
 ///
 /// # Errors
 /// Returns [`SimError`] on build failure or budget exhaustion.
@@ -140,14 +140,16 @@ mod tests {
     }
 
     #[test]
-    fn profiling_is_observe_only_and_forces_the_cycle_core() {
-        let plain = small(OrderingMode::Fence).core(SimCore::Cycle).build().unwrap();
-        let baseline = plain.run().unwrap();
-        // Ask for the event core: the attached profiler must force the
-        // run back onto the cycle core, reproducing it bit-identically.
-        let profiled =
-            profile_scenario(&small(OrderingMode::Fence).core(SimCore::Event).build().unwrap())
-                .unwrap();
-        assert_eq!(profiled.stats, baseline, "profiler must not perturb the run");
+    fn profiling_is_observe_only_on_both_cores() {
+        for core in [SimCore::Cycle, SimCore::Event] {
+            let baseline = small(OrderingMode::Fence).core(core).build().unwrap().run().unwrap();
+            let profiled =
+                profile_scenario(&small(OrderingMode::Fence).core(core).build().unwrap()).unwrap();
+            assert_eq!(
+                profiled.stats, baseline,
+                "profiler must not perturb the run under {core:?}"
+            );
+            assert!(profiled.is_conserved(), "{core:?}: {}", profiled.summary());
+        }
     }
 }

@@ -267,8 +267,9 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Attaches a trace sink to the built systems (a live sink forces
-    /// the dense core — see [`System::attach_sink`]).
+    /// Attaches a trace sink to the built systems. Sinks observe the
+    /// same event stream under either core — see
+    /// [`System::attach_sink`].
     #[must_use]
     pub fn trace(mut self, sink: SharedSink) -> Self {
         self.sink = Some(sink);

@@ -66,10 +66,6 @@ pub struct System {
     clock_acc: u64,
     core_hz: u64,
     mem_hz: u64,
-    /// A live trace sink is attached: sinks observe per-cycle detail
-    /// (queue samples, retire scans), so `run` falls back to the dense
-    /// core regardless of the selected one.
-    traced: bool,
 }
 
 impl System {
@@ -209,17 +205,21 @@ impl System {
             now: 0,
             mem_now: 0,
             clock_acc: 0,
-            traced: false,
         })
     }
 
     /// Attaches a trace sink to every SM and memory controller (which
     /// forwards it to its DRAM channel). The sink only observes: an
-    /// instrumented run is cycle-identical to an uninstrumented one.
+    /// instrumented run is cycle-identical to an uninstrumented one,
+    /// under **either** execution core — every component synthesizes
+    /// its periodic events (stall runs, pipe/queue samples) closed-form
+    /// at skip boundaries, so the event core feeds a sink the same
+    /// events the dense core would emit cycle-by-cycle (arrival order
+    /// and `WarpRetire` stamps may differ across cores; see DESIGN.md,
+    /// "Skip-boundary event synthesis").
     /// The default sink is [`orderlight_trace::NopSink`], which costs a
     /// single `is_enabled()` check per would-be event.
     pub fn attach_sink(&mut self, sink: orderlight_trace::SharedSink) {
-        self.traced = self.traced || sink.is_enabled();
         for sm in &mut self.sms {
             sm.set_sink(sink.clone());
         }
@@ -231,19 +231,17 @@ impl System {
         }
     }
 
-    /// Attaches an *observer* sink to the memory controllers only,
-    /// without forcing the dense core the way [`attach_sink`]
-    /// (Self::attach_sink) does. Observers consume the ordering
-    /// vocabulary — `ReqEnqueued` / `ReqIssued` / `PacketEnqueued` /
-    /// `FenceAck` — which both execution cores emit identically: those
-    /// events fire only on densely-executed memory cycles (an active
-    /// controller pins the quiescence horizon to `now`), so an
-    /// event-core run feeds an observer the same ordering stream as a
-    /// cycle-core run. Per-cycle detail (queue samples, DRAM command
-    /// timelines) is **not** complete under the event core; use
-    /// [`attach_sink`](Self::attach_sink) for full traces. A later
-    /// `attach_sink`/`attach_observer` call replaces the controllers'
-    /// sink.
+    /// Attaches an *observer* sink to the memory controllers only
+    /// (SMs and pipes keep their current sink). Observers consume the
+    /// ordering vocabulary — `ReqEnqueued` / `ReqIssued` /
+    /// `PacketEnqueued` / `FenceAck` — which both execution cores emit
+    /// identically: those events fire only on densely-executed memory
+    /// cycles (an active controller pins the quiescence horizon to
+    /// `now`). Controller-side periodic detail (queue samples) is
+    /// synthesized at skip boundaries, so it too matches across cores;
+    /// use [`attach_sink`](Self::attach_sink) to also capture SM and
+    /// NoC events. A later `attach_sink`/`attach_observer` call
+    /// replaces the controllers' sink.
     pub fn attach_observer(&mut self, sink: orderlight_trace::SharedSink) {
         for (ch, mc) in self.mcs.iter_mut().enumerate() {
             mc.set_sink(sink.clone(), ch as u8);
@@ -570,9 +568,11 @@ impl System {
     }
 
     /// Runs to completion on an explicitly chosen core. The two cores
-    /// are bit-identical (enforced by `tests/core_equivalence.rs`); a
-    /// system with a live trace sink always runs dense, because sinks
-    /// observe per-cycle detail the event core does not replay. The run
+    /// are bit-identical (enforced by `tests/core_equivalence.rs`),
+    /// including the trace stream a live sink observes: skipped windows
+    /// synthesize their periodic events closed-form (see
+    /// `System::step_skip` and `tests/profile_core_equivalence.rs`), so
+    /// traced and profiled runs use whichever core is selected. The run
     /// stops at the exact drain cycle — completion is checked every
     /// step, so `RunStats::core_cycles` never overshoots.
     ///
@@ -580,7 +580,6 @@ impl System {
     /// Returns [`SimError`] if the system has not drained within the
     /// budget — a deadlock or a budget that is simply too small.
     pub fn run_with(&mut self, max_core_cycles: u64, core: SimCore) -> Result<RunStats, SimError> {
-        let core = if self.traced { SimCore::Cycle } else { core };
         while !self.is_done() {
             if self.now >= max_core_cycles {
                 return Err(SimError::new(format!(

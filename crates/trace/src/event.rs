@@ -267,7 +267,10 @@ pub enum TraceEvent {
         /// Whether the pick was a row hit at decision time.
         row_hit: bool,
     },
-    /// Periodic transaction-queue occupancy sample (memory cycles).
+    /// Periodic transaction-queue occupancy sample (memory cycles;
+    /// every 64. Synthesized closed-form across skipped windows —
+    /// `MemoryController::skip_ticks` emits the samples its dense
+    /// ticks would have, so the stream is core-independent).
     QueueSample {
         /// Memory cycle of the sample.
         cycle: u64,
@@ -353,7 +356,10 @@ pub enum TraceEvent {
     },
     /// Periodic NoC-pipe occupancy sample: requests in flight toward
     /// the controller and responses on the return path (core cycles —
-    /// the pipes tick in the core domain).
+    /// the pipes tick in the core domain; every 64. Synthesized
+    /// closed-form across skipped windows by
+    /// `MemoryPipe::skip_quiescent`, so the stream is
+    /// core-independent).
     PipeSample {
         /// Core cycle of the sample.
         cycle: u64,
@@ -365,7 +371,10 @@ pub enum TraceEvent {
         returning: u32,
     },
     /// An all-bank refresh window opened; the channel accepts no
-    /// commands for `rfc` memory cycles (memory cycles).
+    /// commands for `rfc` memory cycles (memory cycles). Fires only on
+    /// densely-executed cycles under both cores: the refresh countdown
+    /// is a quiescence-horizon event, so a skip window never crosses
+    /// the triggering cycle.
     RefreshWindow {
         /// Memory cycle the refresh fired.
         cycle: u64,

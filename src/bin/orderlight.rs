@@ -8,7 +8,8 @@
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
-//! orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]
+//! orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]
+//! orderlight bench --compare A.json B.json [--threshold PCT]
 //! orderlight list
 //! orderlight taxonomy
 //! ```
@@ -16,9 +17,11 @@
 //! Every subcommand also accepts `--core cycle|event` (default: event,
 //! or `ORDERLIGHT_CORE`), selecting the dense per-cycle simulation core
 //! or the bit-identical event-driven time-skip core (see `DESIGN.md`,
-//! "Quiescence contract"). Traced and profiled runs ride a live trace
-//! sink and therefore always use the dense core; both commands print a
-//! one-line notice when `--core event` was selected.
+//! "Quiescence contract"). Traced and profiled runs honour the selected
+//! core too: skip boundaries synthesize the periodic trace events, so
+//! the event core feeds a sink the same events the dense core emits and
+//! profile reports are byte-identical across cores (use `--core cycle`
+//! as an explicit opt-out when debugging the dense loop itself).
 //!
 //! Examples:
 //!
@@ -65,13 +68,22 @@
 //! speedup, and writes a machine-readable `BENCH_sweep.json` so the
 //! perf trajectory of the sweep engine is recorded over time. It also
 //! times every figure under the cycle core and the event core and
-//! cross-checks them point by point. Exits non-zero on any
+//! cross-checks them point by point. With `--profile` it additionally
+//! re-runs every figure under the event core with the stall profiler
+//! attached, records per-cause stall totals, the attribution deltas
+//! against the SMs' own counters (zero when conservation holds), and
+//! the observability overhead (profiled vs. unprofiled wall time) into
+//! the JSON, failing on any conservation violation. With `--compare`
+//! it instead diffs two previously written `BENCH_sweep.json` files
+//! (any schema >= v2): per-figure wall-time and point-latency
+//! p50/p95/p99 deltas, exiting non-zero when the newer file regresses
+//! past `--threshold` percent (default 20). Exits non-zero on any
 //! parallel/serial or cycle/event mismatch.
 
 use orderlight_suite::check::check_scenario;
 use orderlight_suite::core::fault::{DropEdge, FaultPlan, NocJitter, RefreshStorm};
 use orderlight_suite::pim::TsSize;
-use orderlight_suite::profile::profile_scenario_with;
+use orderlight_suite::profile::{profile_points, profile_scenario_with};
 use orderlight_suite::sim::config::ExecMode;
 use orderlight_suite::sim::core_select::{set_core_override, take_core_flag, SimCore};
 use orderlight_suite::sim::experiments::{
@@ -84,7 +96,7 @@ use orderlight_suite::sim::RunStats;
 use orderlight_suite::sim::ScenarioBuilder;
 use orderlight_suite::trace::{
     ChromeTraceBuilder, ClockDomains, CounterRegistry, DramCmdKind, EventCategory, Histogram,
-    RingSink, SchedSide, TraceEvent,
+    RingSink, SchedSide, StallCause, TraceEvent,
 };
 use orderlight_suite::workloads::{OrderingMode, WorkloadId};
 use std::collections::HashMap;
@@ -93,7 +105,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile always run on the dense cycle core)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile honour it too — skip boundaries synthesize the events)"
     );
     ExitCode::from(2)
 }
@@ -600,17 +612,7 @@ fn parse_capture_args(args: &[String], opts: &mut RunOpts) -> Result<(String, us
     Ok((out, capacity))
 }
 
-/// The one-line satellite notice: a live sink forces the dense core, so
-/// a requested `--core event` is ignored rather than silently honoured.
-fn note_forced_cycle_core(command: &str, core: SimCore) {
-    if core == SimCore::Event {
-        println!(
-            "note: {command} rides a live trace sink and always runs on the dense cycle core; --core event is ignored"
-        );
-    }
-}
-
-fn cmd_trace(args: &[String], core: SimCore) -> ExitCode {
+fn cmd_trace(args: &[String]) -> ExitCode {
     // Keep the default traced run small: traces of the full-size default
     // job are hundreds of MB of JSON.
     let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
@@ -623,7 +625,6 @@ fn cmd_trace(args: &[String], core: SimCore) -> ExitCode {
         "tracing {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
         opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
-    note_forced_cycle_core("trace", core);
     let ring = Arc::new(RingSink::new(capacity));
     let traced = opts
         .builder()
@@ -696,7 +697,7 @@ fn cmd_trace(args: &[String], core: SimCore) -> ExitCode {
     }
 }
 
-fn cmd_profile(args: &[String], core: SimCore) -> ExitCode {
+fn cmd_profile(args: &[String]) -> ExitCode {
     // Same default sizing as `trace`: the profiled run streams into the
     // aggregation, but the teed ring still backs the Chrome export.
     let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
@@ -709,7 +710,6 @@ fn cmd_profile(args: &[String], core: SimCore) -> ExitCode {
         "profiling {} mode={} ts={} bmf={}x data={}KiB/structure/channel ...",
         opts.workload, opts.mode, opts.ts, opts.bmf, opts.data_kb
     );
-    note_forced_cycle_core("profile", core);
     let ring = Arc::new(RingSink::new(capacity));
     let outcome = match opts
         .builder()
@@ -987,6 +987,125 @@ fn bench_figure_cores(
     Ok((bench, identical))
 }
 
+/// One figure's event-core observability measurement from `bench
+/// --profile`: per-cause stall totals, attribution deltas against the
+/// SMs' own counters, and the profiled-vs-unprofiled overhead.
+struct ProfileBench {
+    figure: &'static str,
+    points: usize,
+    unprofiled_s: f64,
+    profiled_s: f64,
+    /// Attributed cycles per cause, in [`StallCause::ALL`] order.
+    stalls: [u64; 6],
+    /// Attributed minus counted, per counter: fence (wait+drain share
+    /// one SM counter), ol_wait, reg_wait, structural, credit_wait,
+    /// total. All zero exactly when conservation holds.
+    deltas: [i64; 6],
+    conserved: bool,
+}
+
+impl ProfileBench {
+    /// Profiled over unprofiled wall time; 1.0 means free observability.
+    fn overhead(&self) -> f64 {
+        if self.unprofiled_s > 0.0 {
+            self.profiled_s / self.unprofiled_s
+        } else {
+            0.0
+        }
+    }
+
+    /// One line per figure so `ci.sh` can grep its fig05 entry and gate
+    /// on the overhead field with awk alone.
+    fn json(&self) -> String {
+        let stalls =
+            ["fence_wait", "fence_drain", "ol_wait", "reg_wait", "structural", "credit_wait"]
+                .iter()
+                .zip(self.stalls)
+                .map(|(name, v)| format!("\"{name}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+        let deltas = ["fence", "ol_wait", "reg_wait", "structural", "credit_wait", "total"]
+            .iter()
+            .zip(self.deltas)
+            .map(|(name, v)| format!("\"{name}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"figure\": \"{}\", \"points\": {}, \"unprofiled_seconds\": {:.6}, \"profiled_seconds\": {:.6}, \"overhead\": {:.3}, \"conserved\": {}, \"stalls\": {{{stalls}}}, \"stall_deltas\": {{{deltas}}}}}",
+            self.figure,
+            self.points,
+            self.unprofiled_s,
+            self.profiled_s,
+            self.overhead(),
+            self.conserved,
+        )
+    }
+}
+
+/// Profiles one figure's sweep under the event core: times an
+/// unprofiled serial leg against a profiled serial leg, folds the
+/// per-cause stall totals, and computes the attribution deltas
+/// (attributed minus the SMs' own counters — exactly zero, cause by
+/// cause, when conservation holds).
+fn bench_figure_profile(figure: &'static str, specs: &[JobSpec]) -> Result<ProfileBench, ExitCode> {
+    set_core_override(Some(SimCore::Event));
+    let t0 = std::time::Instant::now();
+    if let Err(e) = run_points_serial(specs) {
+        eprintln!("{figure} unprofiled event-core leg failed: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    let unprofiled_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let outcomes = profile_points(specs, &Pool::new(1)).map_err(|e| {
+        eprintln!("{figure} profiled event-core leg failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    let profiled_s = t1.elapsed().as_secs_f64();
+
+    let mut stalls = [0u64; 6];
+    let mut attributed = 0u64;
+    // Counted by the SMs themselves: fence (wait+drain), ol, reg,
+    // structural, credit, total.
+    let mut counted = [0u64; 6];
+    let mut conserved = true;
+    for (i, o) in outcomes.iter().enumerate() {
+        for (slot, cause) in StallCause::ALL.into_iter().enumerate() {
+            stalls[slot] += o.report.stall(cause);
+        }
+        attributed += o.report.total_attributed();
+        counted[0] += o.stats.sm.fence_stall_cycles;
+        counted[1] += o.stats.sm.ol_wait_cycles;
+        counted[2] += o.stats.sm.reg_wait_cycles;
+        counted[3] += o.stats.sm.structural_stall_cycles;
+        counted[4] += o.stats.sm.credit_wait_cycles;
+        counted[5] += o.stats.stall_cycles();
+        if !o.is_conserved() {
+            conserved = false;
+            eprintln!("  {figure} point {i}: {}", o.summary());
+        }
+    }
+    let delta = |a: u64, b: u64| {
+        i64::try_from(a).unwrap_or(i64::MAX) - i64::try_from(b).unwrap_or(i64::MAX)
+    };
+    let deltas = [
+        delta(stalls[0] + stalls[1], counted[0]),
+        delta(stalls[2], counted[1]),
+        delta(stalls[3], counted[2]),
+        delta(stalls[4], counted[3]),
+        delta(stalls[5], counted[4]),
+        delta(attributed, counted[5]),
+    ];
+    Ok(ProfileBench {
+        figure,
+        points: specs.len(),
+        unprofiled_s,
+        profiled_s,
+        stalls,
+        deltas,
+        conserved,
+    })
+}
+
 /// Serialises one bench measurement as a JSON object line set.
 #[allow(clippy::too_many_arguments)]
 fn bench_json(
@@ -1001,11 +1120,12 @@ fn bench_json(
     figs_json: &str,
     identical: bool,
     cores_identical: bool,
+    profile_json: &str,
 ) -> String {
     let rate = |secs: f64| if secs > 0.0 { points as f64 / secs } else { 0.0 };
     let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
     format!(
-        "{{\n  \"schema\": \"orderlight/bench-sweep/v3\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"point_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical}\n}}\n",
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v4\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"point_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical},\n  \"profile\": {profile_json}\n}}\n",
         p50 = latency_us.0,
         p95 = latency_us.1,
         p99 = latency_us.2,
@@ -1014,6 +1134,108 @@ fn bench_json(
         sr = rate(serial_s),
         pr = rate(parallel_s),
     )
+}
+
+/// One metric's before/after pair for `bench --compare`: prints the
+/// delta and reports whether the newer value regressed past the
+/// threshold (only slowdowns count — a speedup is never a regression).
+fn compare_metric(label: &str, a: f64, b: f64, threshold_pct: f64) -> bool {
+    if a <= 0.0 || b < 0.0 {
+        println!("  {label}: not comparable ({a} -> {b})");
+        return false;
+    }
+    let pct = (b - a) / a * 100.0;
+    let regressed = pct > threshold_pct;
+    println!(
+        "  {label}: {a:.6} -> {b:.6}  ({pct:+.1}%{})",
+        if regressed { ", REGRESSION" } else { "" }
+    );
+    regressed
+}
+
+/// `orderlight bench --compare A.json B.json`: diffs two bench record
+/// files (schema `orderlight/bench-sweep/v2` or later — older files
+/// simply lack the point-latency percentiles), printing per-figure
+/// cycle/event wall-time deltas and the top-level wall-time and
+/// p50/p95/p99 latency deltas. Exits non-zero if any timing in `B`
+/// regresses more than `threshold_pct` percent over `A`.
+fn cmd_bench_compare(a_path: &str, b_path: &str, threshold_pct: f64) -> ExitCode {
+    use orderlight_suite::trace::json::{parse, Value};
+    let load = |path: &str| -> Result<Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+        let doc = parse(&text).map_err(|e| format!("{path}: does not parse: {e:?}"))?;
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("").to_string();
+        match schema.strip_prefix("orderlight/bench-sweep/v").and_then(|v| v.parse::<u32>().ok()) {
+            Some(v) if v >= 2 => Ok(doc),
+            _ => Err(format!(
+                "{path}: unsupported schema '{schema}' (need orderlight/bench-sweep/v2 or later)"
+            )),
+        }
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "comparing {a_path} ({}) -> {b_path} ({}), threshold {threshold_pct}%",
+        a.get("schema").and_then(Value::as_str).unwrap_or("?"),
+        b.get("schema").and_then(Value::as_str).unwrap_or("?"),
+    );
+
+    let mut regressed = false;
+    for key in ["serial_seconds", "parallel_seconds"] {
+        if let (Some(av), Some(bv)) =
+            (a.get(key).and_then(Value::as_f64), b.get(key).and_then(Value::as_f64))
+        {
+            regressed |= compare_metric(key, av, bv, threshold_pct);
+        }
+    }
+    for pct in ["p50", "p95", "p99"] {
+        let lat = |doc: &Value| {
+            doc.get("point_latency_us").and_then(|l| l.get(pct)).and_then(Value::as_f64)
+        };
+        if let (Some(av), Some(bv)) = (lat(&a), lat(&b)) {
+            regressed |= compare_metric(&format!("point_latency_us.{pct}"), av, bv, threshold_pct);
+        }
+    }
+
+    let figures = |doc: &Value| -> Vec<(String, f64, f64)> {
+        doc.get("figures")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|f| {
+                Some((
+                    f.get("figure")?.as_str()?.to_string(),
+                    f.get("cycle_seconds")?.as_f64()?,
+                    f.get("event_seconds")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let a_figs = figures(&a);
+    for (name, b_cycle, b_event) in figures(&b) {
+        let Some((_, a_cycle, a_event)) = a_figs.iter().find(|(n, ..)| *n == name) else {
+            println!("  {name}: only in {b_path}, skipped");
+            continue;
+        };
+        regressed |=
+            compare_metric(&format!("{name}.cycle_seconds"), *a_cycle, b_cycle, threshold_pct);
+        regressed |=
+            compare_metric(&format!("{name}.event_seconds"), *a_event, b_event, threshold_pct);
+    }
+
+    if regressed {
+        eprintln!("REGRESSION past {threshold_pct}% — see lines above");
+        ExitCode::FAILURE
+    } else {
+        println!("ok: no timing regressed past {threshold_pct}%");
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
@@ -1025,8 +1247,11 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         }
     };
     let mut quick = false;
+    let mut profile = false;
     let mut out = "BENCH_sweep.json".to_string();
     let mut data_kb: Option<u64> = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut threshold_pct = 20.0f64;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let ok = match flag.as_str() {
@@ -1034,6 +1259,27 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
                 quick = true;
                 true
             }
+            "--profile" => {
+                profile = true;
+                true
+            }
+            "--compare" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => {
+                    compare = Some((a.clone(), b.clone()));
+                    true
+                }
+                _ => {
+                    eprintln!("--compare needs two BENCH_sweep.json paths");
+                    return usage();
+                }
+            },
+            "--threshold" => match it.next() {
+                Some(v) => v.parse().map(|n: f64| threshold_pct = n).is_ok(),
+                None => {
+                    eprintln!("missing value for {flag}");
+                    return usage();
+                }
+            },
             "--out" | "-o" => match it.next() {
                 Some(v) => {
                     out.clone_from(v);
@@ -1060,6 +1306,9 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
             eprintln!("invalid value for {flag}");
             return usage();
         }
+    }
+    if let Some((a, b)) = compare {
+        return cmd_bench_compare(&a, &b, threshold_pct);
     }
     // The quick profile is the CI smoke: every figure sweep, but at a
     // reduced job size (seconds instead of minutes), still exercising
@@ -1176,6 +1425,50 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         eprintln!("  results : CYCLE/EVENT MISMATCH — quiescence contract violated");
     }
 
+    // `--profile`: close the bench→profile loop. Each figure re-runs
+    // under the event core with the stall profiler attached; the JSON
+    // records what the stalls are (per cause), that the attribution
+    // conserves the SMs' own counters (deltas of zero), and what the
+    // observability costs (profiled vs. unprofiled wall time).
+    let mut profile_conserved = true;
+    let profile_json = if profile {
+        println!("observability (event core, serial, per figure):");
+        let mut entries = Vec::with_capacity(series.len());
+        for (name, specs) in &series {
+            let bench = match bench_figure_profile(name, specs) {
+                Ok(b) => b,
+                Err(code) => {
+                    set_core_override(Some(core));
+                    return code;
+                }
+            };
+            profile_conserved &= bench.conserved;
+            println!(
+                "  {name}: unprofiled {:.3} s, profiled {:.3} s -> {:.2}x overhead ({} points{})",
+                bench.unprofiled_s,
+                bench.profiled_s,
+                bench.overhead(),
+                bench.points,
+                if bench.conserved { "" } else { ", NOT CONSERVED" },
+            );
+            entries.push(bench);
+        }
+        set_core_override(Some(core));
+        if !profile_conserved {
+            eprintln!("  results : CONSERVATION VIOLATED — see per-point summaries above");
+        }
+        let overall_unprofiled: f64 = entries.iter().map(|b| b.unprofiled_s).sum();
+        let overall_profiled: f64 = entries.iter().map(|b| b.profiled_s).sum();
+        let overall =
+            if overall_unprofiled > 0.0 { overall_profiled / overall_unprofiled } else { 0.0 };
+        let figs = entries.iter().map(ProfileBench::json).collect::<Vec<_>>().join(",\n      ");
+        format!(
+            "{{\n    \"core\": \"event\",\n    \"overhead\": {overall:.3},\n    \"conserved\": {profile_conserved},\n    \"figures\": [\n      {figs}\n    ]\n  }}"
+        )
+    } else {
+        "null".to_string()
+    };
+
     let figs_json = fig_benches.iter().map(CoreBench::json).collect::<Vec<_>>().join(", ");
     let json = bench_json(
         quick,
@@ -1189,13 +1482,14 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         &figs_json,
         identical,
         cores_identical,
+        &profile_json,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
-    if identical && cores_identical {
+    if identical && cores_identical && profile_conserved {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -1217,8 +1511,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..], core),
-        Some("profile") => cmd_profile(&args[1..], core),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("profile-verify") => cmd_profile_verify(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..], core),

@@ -9,7 +9,8 @@
 //!    reports (the JSON strings are compared, not just the structs).
 //! 3. **Observe-only** — attaching the profiler changes no simulated
 //!    outcome: `RunStats` are bit-identical to an unprofiled run on the
-//!    cycle core (which a live sink forces anyway).
+//!    same core (cross-core report identity lives in
+//!    `profile_core_equivalence.rs`).
 //!
 //! The full fig05 sweep runs in the fast tier; the broader fig10/fig12
 //! sweeps are tier 2 (`--include-ignored` / `ORDERLIGHT_TIER2=1`).
@@ -98,22 +99,26 @@ fn fig10_and_fig12_representatives_conserve() {
 
 #[test]
 fn profiler_is_observe_only() {
-    // A live sink forces the cycle core, so the unprofiled baseline is
-    // pinned there too; beyond that the profiler must change nothing.
-    for spec in fig05_points(DATA) {
-        let baseline = spec
-            .builder()
-            .core(SimCore::Cycle)
-            .build()
-            .expect("baseline builds")
-            .run()
-            .expect("baseline runs");
-        let profiled = profile_scenario(&spec.builder().build().expect("profiled builds"))
-            .expect("profiled run succeeds");
-        assert_eq!(
-            profiled.stats, baseline,
-            "{} {}: profiling must not perturb the run",
-            spec.workload, spec.mode
-        );
+    // The profiler must change nothing about the simulated outcome,
+    // under either core; the baseline runs on the same core as the
+    // profiled leg so this isolates the sink's effect.
+    for core in [SimCore::Cycle, SimCore::Event] {
+        for spec in fig05_points(DATA) {
+            let baseline = spec
+                .builder()
+                .core(core)
+                .build()
+                .expect("baseline builds")
+                .run()
+                .expect("baseline runs");
+            let profiled =
+                profile_scenario(&spec.builder().core(core).build().expect("profiled builds"))
+                    .expect("profiled run succeeds");
+            assert_eq!(
+                profiled.stats, baseline,
+                "{} {} on {core:?}: profiling must not perturb the run",
+                spec.workload, spec.mode
+            );
+        }
     }
 }
