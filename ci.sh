@@ -41,6 +41,20 @@ if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
     cargo test --workspace -q -- --ignored
 fi
 
+# Calendar-queue differential gauntlet (tests/horizon_fuzz.rs):
+# SplitMix64-seeded configurations sweeping refresh, BMF, TS size and
+# the legal fault layers, asserting the dense and event cores agree on
+# RunStats, controller stats, final DRAM bytes and ProfileReport bytes
+# — at jobs=1 and jobs=8. Release mode: the gauntlet is 4 full runs
+# per case. Tier 1 runs the small prefix; tier 2 the full 64 cases.
+echo "==> horizon fuzz gauntlet (tier 1: small prefix, release)"
+cargo test --release --test horizon_fuzz -q
+
+if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
+    echo "==> horizon fuzz gauntlet (tier 2: full 64 cases, release)"
+    cargo test --release --test horizon_fuzz -q -- --include-ignored
+fi
+
 # Ordering-violation oracle gate: a clean OrderLight run must stay
 # clean under both cores — with and without the legal fault layers —
 # and the seeded drop-edge mutation must make the oracle fire (the
@@ -96,5 +110,16 @@ overhead="$(grep -o '"figure": "fig05"[^}]*"overhead": [0-9.]*' BENCH_sweep.json
 echo "    fig05 profiled/unprofiled overhead: ${overhead}x"
 awk -v o="$overhead" 'BEGIN { exit !(o <= 1.5) }' \
     || { echo "fig05 observability overhead ${overhead}x exceeds the 1.5x budget"; exit 1; }
+
+# Event-core speedup gate: the calendar-queue core must keep its edge
+# over the dense core on the fence-heavy fence-ts16 sweep (~4x measured
+# at merge; the 2.5x floor absorbs host noise and debug-adjacent
+# slowdowns on shared runners).
+echo "==> event-core speedup gate (fence-ts16 >= 2.5x)"
+speedup="$(grep -o '"figure": "fence-ts16"[^}]*"event_speedup": [0-9.]*' BENCH_sweep.json \
+    | grep -o '"event_speedup": [0-9.]*' | awk '{print $2}')"
+echo "    fence-ts16 event-core speedup: ${speedup}x"
+awk -v s="$speedup" 'BEGIN { exit !(s >= 2.5) }' \
+    || { echo "fence-ts16 event speedup ${speedup}x below the 2.5x floor"; exit 1; }
 
 echo "CI green."

@@ -49,6 +49,7 @@ pub mod mapping;
 pub mod message;
 pub mod packet;
 pub mod rng;
+pub mod slab;
 pub mod taxonomy;
 pub mod types;
 
@@ -61,6 +62,7 @@ pub use isa::{
 pub use mapping::{AddressMapping, GroupMap, Location};
 pub use message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 pub use packet::OrderLightPacket;
+pub use slab::{Slab, SlabRef};
 pub use types::{
     Addr, BankId, ChannelId, CoreCycle, GlobalWarpId, MemCycle, MemGroupId, Stripe, TsSlot,
     BUS_BYTES, LANES, LANE_BYTES,

@@ -24,4 +24,4 @@ pub mod warp;
 
 pub use operand_collector::OperandCollector;
 pub use sm::{Sm, SmConfig, SmStats};
-pub use warp::{Warp, WarpState};
+pub use warp::{Warp, WarpCore, WarpState};

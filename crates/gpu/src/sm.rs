@@ -12,7 +12,7 @@
 //!   cycles), injects the packet, and keeps issuing.
 
 use crate::operand_collector::OperandCollector;
-use crate::warp::{Warp, WarpState};
+use crate::warp::{mark_reg_pending, reg_is_pending, Warp, WarpCore, WarpState};
 use orderlight::message::{Marker, MarkerCopy, MemReq, MemResp, ReqMeta};
 use orderlight::packet::OrderLightPacket;
 use orderlight::types::CoreCycle;
@@ -169,7 +169,16 @@ struct StallRun {
 /// assert!(sm.is_done());
 /// ```
 pub struct Sm {
-    warps: Vec<Warp>,
+    // Per-warp state, struct-of-arrays: the every-cycle scheduler scans
+    // (ready-warp walk, parked-fence count, horizon probe) read
+    // `states`/`curs`/`pendings` as contiguous arrays; the cold bulk of
+    // each warp (program stream, register file, counters) sits in
+    // `cores` and is only touched when an instruction actually issues
+    // or data arrives.
+    cores: Vec<WarpCore>,
+    states: Vec<WarpState>,
+    curs: Vec<Option<KernelInstr>>,
+    pendings: Vec<u64>,
     oc: OperandCollector,
     ldst: VecDeque<MemReq>,
     cfg: SmConfig,
@@ -193,13 +202,29 @@ impl Sm {
     /// Creates an SM running `warps`.
     #[must_use]
     pub fn new(cfg: SmConfig, warps: Vec<Warp>) -> Self {
+        let n = warps.len();
+        let sm_id = warps.first().map_or(0, |w| w.id().sm() as u32);
+        let mut cores = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        let mut curs = Vec::with_capacity(n);
+        let mut pendings = Vec::with_capacity(n);
+        for w in warps {
+            let (core, state, cur, pending) = w.into_parts();
+            cores.push(core);
+            states.push(state);
+            curs.push(cur);
+            pendings.push(pending);
+        }
         Sm {
             oc: OperandCollector::new(cfg.oc_capacity, cfg.oc_latency),
             ldst: VecDeque::new(),
-            credits: vec![cfg.credits.unwrap_or(0); warps.len()],
-            retired: vec![false; warps.len()],
-            sm_id: warps.first().map_or(0, |w| w.id().sm() as u32),
-            warps,
+            credits: vec![cfg.credits.unwrap_or(0); n],
+            retired: vec![false; n],
+            sm_id,
+            cores,
+            states,
+            curs,
+            pendings,
             cfg,
             rr: 0,
             stats: SmStats::default(),
@@ -222,18 +247,18 @@ impl Sm {
         self.stats
     }
 
-    /// The warps running on this SM.
+    /// Scheduling states of the warps running on this SM.
     #[must_use]
-    pub fn warps(&self) -> &[Warp] {
-        &self.warps
+    pub fn warp_states(&self) -> &[WarpState] {
+        &self.states
     }
 
     /// Whether every warp has finished and all structures drained.
     #[must_use]
     pub fn is_done(&mut self) -> bool {
-        let all_done = (0..self.warps.len()).all(|i| {
-            let _ = self.warps[i].current();
-            self.warps[i].state() == WarpState::Done
+        let all_done = (0..self.cores.len()).all(|i| {
+            let _ = self.cores[i].fetch(&mut self.curs[i], &mut self.states[i]);
+            self.states[i] == WarpState::Done
         });
         all_done && self.oc.is_empty() && self.ldst.is_empty()
     }
@@ -251,13 +276,15 @@ impl Sm {
 
     /// Delivers a response from the memory pipe.
     pub fn deliver(&mut self, resp: MemResp) {
-        let warp_idx = resp.warp().warp();
-        let warp = &mut self.warps[warp_idx];
+        let i = resp.warp().warp();
         match resp {
-            MemResp::LoadData { reg, data, .. } => warp.write_reg(reg, data),
+            MemResp::LoadData { reg, data, .. } => {
+                self.cores[i].write_reg(&mut self.pendings[i], reg, data);
+            }
             MemResp::FenceAck { fence_id, .. } => {
-                let id = warp.id();
-                let released = warp.fence_ack(fence_id);
+                let id = self.cores[i].id();
+                let head_empty = self.curs[i].is_none();
+                let released = self.cores[i].fence_ack(fence_id, head_empty, &mut self.states[i]);
                 if released && self.sink.is_enabled() {
                     self.sink.emit(TraceEvent::FenceStallEnd {
                         cycle: self.cur_cycle,
@@ -267,7 +294,7 @@ impl Sm {
                     });
                 }
             }
-            MemResp::Credit { .. } => self.credits[warp_idx] += 1,
+            MemResp::Credit { .. } => self.credits[i] += 1,
         }
     }
 
@@ -293,7 +320,7 @@ impl Sm {
     /// unfetched or exhausted stream reports no blocker — `try_issue`
     /// resolves those by materialising the stream.
     fn issue_block(&self, i: usize) -> Option<StallCause> {
-        let instr = self.warps[i].peek_current()?;
+        let instr = self.curs[i]?;
         match instr {
             KernelInstr::Pim(_) => {
                 if self.cfg.credits.is_some() && self.credits[i] == 0 {
@@ -305,7 +332,7 @@ impl Sm {
                 }
             }
             KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
-                if self.oc.pim_count(self.warps[i].channel(), group) > 0 {
+                if self.oc.pim_count(self.cores[i].channel(), group) > 0 {
                     Some(StallCause::OlWait)
                 } else if !self.ldst_has_space() {
                     Some(StallCause::Structural)
@@ -314,7 +341,7 @@ impl Sm {
                 }
             }
             KernelInstr::Ordering(OrderingInstr::Fence) => {
-                if self.oc.warp_count(self.warps[i].id()) > 0 {
+                if self.oc.warp_count(self.cores[i].id()) > 0 {
                     Some(StallCause::FenceDrain)
                 } else if !self.ldst_has_space() {
                     Some(StallCause::Structural)
@@ -323,7 +350,7 @@ impl Sm {
                 }
             }
             KernelInstr::Load { reg, .. } | KernelInstr::Store { reg, .. } => {
-                if self.warps[i].is_pending(reg) {
+                if reg_is_pending(self.pendings[i], reg) {
                     Some(StallCause::RegWait)
                 } else if !self.oc.has_space() {
                     Some(StallCause::Structural)
@@ -332,8 +359,8 @@ impl Sm {
                 }
             }
             KernelInstr::Compute { dst, a, b, .. } => {
-                let w = &self.warps[i];
-                if w.is_pending(a) || w.is_pending(b) || w.is_pending(dst) {
+                let p = self.pendings[i];
+                if reg_is_pending(p, a) || reg_is_pending(p, b) || reg_is_pending(p, dst) {
                     Some(StallCause::RegWait)
                 } else {
                     None
@@ -410,14 +437,15 @@ impl Sm {
             self.charge(cause, now, 1);
             return false;
         }
-        let Some(instr) = self.warps[i].current() else { return false };
+        let Some(instr) = self.cores[i].fetch(&mut self.curs[i], &mut self.states[i]) else {
+            return false;
+        };
         match instr {
             KernelInstr::Pim(pim) => {
-                let warp = &mut self.warps[i];
-                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
-                let key = (warp.channel(), pim.group);
-                let id = warp.id();
-                warp.advance();
+                let id = self.cores[i].id();
+                let meta = ReqMeta { warp: id, seq: self.cores[i].next_seq() };
+                let key = (self.cores[i].channel(), pim.group);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 if self.cfg.credits.is_some() {
                     self.credits[i] -= 1;
                 }
@@ -427,12 +455,11 @@ impl Sm {
                 true
             }
             KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
-                let channel = self.warps[i].channel();
-                let warp = &mut self.warps[i];
-                let id = warp.id();
-                let number = warp.next_ol_number(group);
+                let channel = self.cores[i].channel();
+                let id = self.cores[i].id();
+                let number = self.cores[i].next_ol_number(group);
                 let packet = OrderLightPacket::new(channel, group, number);
-                warp.advance();
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.ldst.push_back(MemReq::Marker(MarkerCopy {
                     marker: Marker::OrderLight(packet),
                     total_copies: 1,
@@ -454,11 +481,10 @@ impl Sm {
                 // The fence halts issue until the warp's requests have
                 // left the operand collector, then sends the probe and
                 // stalls for the acknowledgement.
-                let id = self.warps[i].id();
-                let warp = &mut self.warps[i];
-                let channel = warp.channel();
-                let fence_id = warp.enter_fence();
-                warp.advance();
+                let id = self.cores[i].id();
+                let channel = self.cores[i].channel();
+                let fence_id = self.cores[i].enter_fence(&mut self.states[i]);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.ldst.push_back(MemReq::Marker(MarkerCopy {
                     marker: Marker::FenceProbe { warp: id, fence_id, channel },
                     total_copies: 1,
@@ -476,32 +502,31 @@ impl Sm {
                 true
             }
             KernelInstr::Load { addr, reg } => {
-                let warp = &mut self.warps[i];
-                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
-                let id = warp.id();
-                warp.mark_pending(reg);
-                warp.advance();
+                let id = self.cores[i].id();
+                let meta = ReqMeta { warp: id, seq: self.cores[i].next_seq() };
+                mark_reg_pending(&mut self.pendings[i], reg);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.oc.allocate(MemReq::HostRead { addr, reg, meta }, id, None, now);
                 self.stats.loads += 1;
                 self.trace_issue(now, id, InstrKind::Load);
                 true
             }
             KernelInstr::Compute { op, dst, a, b } => {
-                let warp = &mut self.warps[i];
-                let id = warp.id();
-                let result = op.apply(warp.read_reg(a), warp.read_reg(b));
-                warp.write_reg(dst, result);
-                warp.advance();
+                let id = self.cores[i].id();
+                let pending = self.pendings[i];
+                let result = op
+                    .apply(self.cores[i].read_reg(pending, a), self.cores[i].read_reg(pending, b));
+                self.cores[i].write_reg(&mut self.pendings[i], dst, result);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.stats.computes += 1;
                 self.trace_issue(now, id, InstrKind::Compute);
                 true
             }
             KernelInstr::Store { addr, reg } => {
-                let warp = &mut self.warps[i];
-                let meta = ReqMeta { warp: warp.id(), seq: warp.next_seq() };
-                let id = warp.id();
-                let data = warp.read_reg(reg);
-                warp.advance();
+                let id = self.cores[i].id();
+                let meta = ReqMeta { warp: id, seq: self.cores[i].next_seq() };
+                let data = self.cores[i].read_reg(self.pendings[i], reg);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.oc.allocate(MemReq::HostWrite { addr, data, meta }, id, None, now);
                 self.stats.stores += 1;
                 self.trace_issue(now, id, InstrKind::Store);
@@ -531,27 +556,23 @@ impl Sm {
         // Fence-stall accounting: every warp parked at a fence burns a
         // stall cycle (the paper's "waiting cycles per fence").
         let parked =
-            self.warps.iter().filter(|w| matches!(w.state(), WarpState::WaitFence { .. })).count()
-                as u64;
+            self.states.iter().filter(|s| matches!(s, WarpState::WaitFence { .. })).count() as u64;
         self.stats.fence_stall_cycles += parked;
         if parked > 0 && self.sink.is_enabled() {
             self.note_stall(TraceCause::FenceWait, now, now, parked);
         }
 
         // Issue round-robin across ready warps.
-        let n = self.warps.len();
+        let n = self.states.len();
         let mut issued = 0;
         for k in 0..n {
             if issued >= self.cfg.issue_width {
                 break;
             }
             let i = (self.rr + k) % n;
-            {
-                let warp = &mut self.warps[i];
-                let _ = warp.current();
-                if warp.state() != WarpState::Ready {
-                    continue;
-                }
+            let _ = self.cores[i].fetch(&mut self.curs[i], &mut self.states[i]);
+            if self.states[i] != WarpState::Ready {
+                continue;
             }
             if self.try_issue(i, now) {
                 issued += 1;
@@ -563,10 +584,10 @@ impl Sm {
         // Retirement is trace-only bookkeeping, so the scan is skipped
         // entirely when no real sink is attached.
         if self.sink.is_enabled() {
-            for i in 0..self.warps.len() {
-                if !self.retired[i] && self.warps[i].state() == WarpState::Done {
+            for i in 0..self.states.len() {
+                if !self.retired[i] && self.states[i] == WarpState::Done {
                     self.retired[i] = true;
-                    let id = self.warps[i].id();
+                    let id = self.cores[i].id();
                     self.sink.emit(TraceEvent::WarpRetire {
                         cycle: now,
                         sm: id.sm() as u32,
@@ -600,8 +621,8 @@ impl Sm {
     /// across activity, which violates the quiescence contract.
     pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
         self.cur_cycle = now + span - 1;
-        for i in 0..self.warps.len() {
-            match self.warps[i].state() {
+        for i in 0..self.states.len() {
+            match self.states[i] {
                 WarpState::WaitFence { .. } => {
                     self.stats.fence_stall_cycles += span;
                     if self.sink.is_enabled() {
@@ -617,7 +638,7 @@ impl Sm {
                 WarpState::Done => {}
             }
         }
-        let n = self.warps.len().max(1);
+        let n = self.states.len().max(1);
         self.rr = (self.rr + (span % n as u64) as usize) % n;
     }
 }
@@ -641,11 +662,12 @@ impl NextEvent for Sm {
             // Ready head into a full LDST queue: unblocked by the
             // system's LDST-to-pipe pairing, not by this SM.
         }
-        for (i, w) in self.warps.iter().enumerate() {
-            if w.state() != WarpState::Ready {
+        for i in 0..self.states.len() {
+            if self.states[i] != WarpState::Ready {
                 continue;
             }
-            if w.needs_fetch() || self.issue_block(i).is_none() {
+            let needs_fetch = self.curs[i].is_none() && !self.cores[i].exhausted();
+            if needs_fetch || self.issue_block(i).is_none() {
                 return Some(now);
             }
         }
@@ -656,7 +678,7 @@ impl NextEvent for Sm {
 impl std::fmt::Debug for Sm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sm")
-            .field("warps", &self.warps.len())
+            .field("warps", &self.cores.len())
             .field("ldst", &self.ldst.len())
             .field("stats", &self.stats)
             .finish_non_exhaustive()

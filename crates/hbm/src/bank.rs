@@ -114,9 +114,12 @@ impl Bank {
         now: MemCycle,
         t: &TimingParams,
     ) -> MemCycle {
+        // Saturating: a timer near `u64::MAX` must clamp to "never",
+        // not wrap into the past (the event core would read a wrapped
+        // horizon as already due).
         let col_ready = |act_at: MemCycle| match kind {
-            ColKind::Read => act_at + t.rcd_rd,
-            ColKind::Write => act_at + t.rcd_wr,
+            ColKind::Read => act_at.saturating_add(t.rcd_rd),
+            ColKind::Write => act_at.saturating_add(t.rcd_wr),
         };
         match self.state {
             BankState::Open { row: r } if r == row => match kind {
@@ -125,7 +128,7 @@ impl Bank {
             },
             BankState::Open { .. } => {
                 let pre_at = now.max(self.next_pre);
-                let act_at = (pre_at + t.rp).max(self.next_act);
+                let act_at = pre_at.saturating_add(t.rp).max(self.next_act);
                 col_ready(act_at)
             }
             BankState::Closed => col_ready(now.max(self.next_act)),
@@ -142,11 +145,11 @@ impl Bank {
         assert!(self.can_activate(now), "ACT violates timing at {now}");
         self.state = BankState::Open { row };
         self.opened_at = now;
-        self.next_rd = now + t.rcd_rd;
-        self.next_wr = now + t.rcd_wr;
-        self.next_pre = now + t.ras;
+        self.next_rd = now.saturating_add(t.rcd_rd);
+        self.next_wr = now.saturating_add(t.rcd_wr);
+        self.next_pre = now.saturating_add(t.ras);
         // Same-bank ACT-to-ACT (tRC) even across the next PRE.
-        self.next_act = now + t.rc();
+        self.next_act = now.saturating_add(t.rc());
         self.activations += 1;
     }
 
@@ -158,18 +161,18 @@ impl Bank {
         assert!(self.can_column(row, kind, now), "{kind:?} violates timing at {now}");
         // Same-bank column-to-column spacing (tCCDL); cross-bank spacing
         // (tCCD) is enforced by the channel.
-        self.next_rd = self.next_rd.max(now + t.ccdl);
-        self.next_wr = self.next_wr.max(now + t.ccdl);
+        self.next_rd = self.next_rd.max(now.saturating_add(t.ccdl));
+        self.next_wr = self.next_wr.max(now.saturating_add(t.ccdl));
         match kind {
             ColKind::Read => {
-                self.next_pre = self.next_pre.max(now + t.rtp);
+                self.next_pre = self.next_pre.max(now.saturating_add(t.rtp));
                 // Read-to-write turnaround on the same bank.
-                self.next_wr = self.next_wr.max(now + t.cdlr);
+                self.next_wr = self.next_wr.max(now.saturating_add(t.cdlr));
             }
             ColKind::Write => {
-                self.next_pre = self.next_pre.max(now + t.wtp);
+                self.next_pre = self.next_pre.max(now.saturating_add(t.wtp));
                 // Write-to-read needs the write to retire (tWL + tWR).
-                self.next_rd = self.next_rd.max(now + t.wl + t.wr);
+                self.next_rd = self.next_rd.max(now.saturating_add(t.wl + t.wr));
             }
         }
         self.col_accesses += 1;
@@ -182,7 +185,7 @@ impl Bank {
     pub fn precharge(&mut self, now: MemCycle, t: &TimingParams) {
         assert!(self.can_precharge(now), "PRE violates timing at {now}");
         self.state = BankState::Closed;
-        self.next_act = self.next_act.max(now + t.rp);
+        self.next_act = self.next_act.max(now.saturating_add(t.rp));
     }
 
     /// Number of row activations so far.
@@ -328,5 +331,20 @@ mod tests {
         let mut b = Bank::new();
         b.activate(0, 0, &t);
         b.column(0, ColKind::Write, 1, &t); // before tRCDW
+    }
+
+    #[test]
+    fn timers_saturate_instead_of_wrapping_near_u64_max() {
+        let t = t();
+        let mut b = Bank::new();
+        let now = u64::MAX - 2;
+        assert!(b.can_activate(now));
+        b.activate(7, now, &t);
+        // Every timer clamps to "never" instead of wrapping behind
+        // `now`, which the event core would read as already due.
+        assert_eq!(b.next_event(now), Some(u64::MAX));
+        assert_eq!(b.next_precharge_at(), u64::MAX);
+        // The scheduler's row-miss lookahead saturates too.
+        assert_eq!(b.earliest_column(8, ColKind::Read, now, &t), u64::MAX);
     }
 }

@@ -189,7 +189,10 @@ impl Channel {
                     self.banks[b].precharge(now, &t);
                 }
             }
-            self.refresh_until = Some(now + r.rfc);
+            // Saturating like the bank timers: a refresh window or due
+            // time past `u64::MAX` clamps to "never" instead of
+            // wrapping behind `now`.
+            self.refresh_until = Some(now.saturating_add(r.rfc));
             if self.sink.is_enabled() {
                 self.sink.emit(TraceEvent::RefreshWindow {
                     cycle: now,
@@ -198,10 +201,10 @@ impl Channel {
                 });
             }
             self.refresh_due = match &mut self.storm {
-                Some((rng, s)) => {
-                    now + s.min_interval + rng.gen_range(s.max_interval - s.min_interval + 1)
-                }
-                None => now + r.interval,
+                Some((rng, s)) => now
+                    .saturating_add(s.min_interval)
+                    .saturating_add(rng.gen_range(s.max_interval - s.min_interval + 1)),
+                None => now.saturating_add(r.interval),
             };
             self.refreshes += 1;
         }
@@ -288,7 +291,7 @@ impl Channel {
         match cmd {
             DramCommand::Activate { bank, row } => {
                 self.banks[bank.index()].activate(row, now, &t);
-                self.next_act_any = now + t.rrd;
+                self.next_act_any = now.saturating_add(t.rrd);
                 if traced {
                     self.sink.emit(TraceEvent::DramCmd {
                         cycle: now,
@@ -315,7 +318,7 @@ impl Channel {
             DramCommand::Column { bank, kind } => {
                 let row = self.banks[bank.index()].open_row().expect("checked open");
                 self.banks[bank.index()].column(row, kind, now, &t);
-                self.next_col = now + t.ccd;
+                self.next_col = now.saturating_add(t.ccd);
                 self.col_commands += 1;
                 if traced {
                     self.sink.emit(TraceEvent::DramCmd {

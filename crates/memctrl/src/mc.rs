@@ -8,6 +8,7 @@ use orderlight::fsm::diverge;
 use orderlight::mapping::{AddressMapping, GroupMap};
 use orderlight::message::{Marker, MemReq, MemResp};
 use orderlight::rng::Rng;
+use orderlight::slab::Slab;
 use orderlight::types::{BankId, MemCycle, MemGroupId};
 use orderlight::{NextEvent, PimOp};
 use orderlight_hbm::{Channel, ColKind, DramCommand, NeededCommand};
@@ -195,6 +196,11 @@ pub struct MemoryController {
     pim: PimUnit,
     read_q: TransQueue,
     write_q: TransQueue,
+    /// Bodies of the requests queued in `read_q`/`write_q`. Queue
+    /// entries carry [`orderlight::slab::SlabRef`] handles plus the
+    /// denormalized fields the scheduler scans; a body is inserted at
+    /// ingress and removed exactly once, at dequeue.
+    arena: Slab<MemReq>,
     bank_q: Vec<VecDeque<Transaction>>,
     /// Total transactions across all of `bank_q` — kept so the idle
     /// check the event core's horizon makes every hop is O(1), not a
@@ -230,6 +236,7 @@ impl MemoryController {
         MemoryController {
             read_q: TransQueue::new(cfg.queue_capacity),
             write_q: TransQueue::new(cfg.queue_capacity),
+            arena: Slab::with_capacity(2 * cfg.queue_capacity),
             bank_q: (0..banks).map(|_| VecDeque::new()).collect(),
             bank_queued: 0,
             exec_q: VecDeque::new(),
@@ -386,13 +393,17 @@ impl MemoryController {
                         seq: meta.seq,
                     });
                 }
+                let pim = req.is_pim();
+                let write_like = req.is_write_like();
                 let entry = QueueEntry::Request(PendingReq {
+                    req: self.arena.insert(req),
+                    pim,
+                    meta,
                     loc,
                     group,
                     arrival: self.arrival_cycle,
-                    req,
                 });
-                if matches!(&entry, QueueEntry::Request(p) if p.req.is_write_like()) {
+                if write_like {
                     self.write_q.push(entry);
                 } else {
                     self.read_q.push(entry);
@@ -456,10 +467,9 @@ impl MemoryController {
                 if !self.txn_fits(p) {
                     continue;
                 }
-                if self.cfg.seq_order && p.req.is_pim() {
-                    let meta = p.req.meta().expect("pim requests carry metadata");
-                    let expected = self.expected_dequeue.get(&meta.warp).copied().unwrap_or(1);
-                    if meta.seq != expected {
+                if self.cfg.seq_order && p.pim {
+                    let expected = self.expected_dequeue.get(&p.meta.warp).copied().unwrap_or(1);
+                    if p.meta.seq != expected {
                         continue;
                     }
                 }
@@ -551,12 +561,11 @@ impl MemoryController {
                     row_hit: self.is_row_hit(&p),
                 });
             }
-            if self.cfg.seq_order && p.req.is_pim() {
-                let meta = p.req.meta().expect("pim requests carry metadata");
-                self.expected_dequeue.insert(meta.warp, meta.seq + 1);
+            if self.cfg.seq_order && p.pim {
+                self.expected_dequeue.insert(p.meta.warp, p.meta.seq + 1);
             }
             self.ordering.on_dequeue(p.group);
-            let meta = p.req.meta().expect("requests carry metadata");
+            let meta = p.meta;
             if self.sink.is_enabled() {
                 self.sink.emit(TraceEvent::ReqDequeued {
                     cycle: self.arrival_cycle,
@@ -568,7 +577,7 @@ impl MemoryController {
                     waited: self.arrival_cycle.saturating_sub(p.arrival),
                 });
             }
-            let kind = match p.req {
+            let kind = match self.arena.remove(p.req) {
                 MemReq::Pim { instr, .. } => TxnKind::Pim(instr),
                 MemReq::HostRead { reg, .. } => TxnKind::HostRead { reg },
                 MemReq::HostWrite { data, .. } => TxnKind::HostWrite { data },

@@ -7,7 +7,8 @@
 //! request remains ahead of it in the queue.
 
 use orderlight::mapping::Location;
-use orderlight::message::{Marker, MarkerCopy, MemReq};
+use orderlight::message::{Marker, MarkerCopy, ReqMeta};
+use orderlight::slab::SlabRef;
 use orderlight::types::MemGroupId;
 use std::collections::VecDeque;
 
@@ -27,10 +28,20 @@ pub fn marker_constrains(copy: &MarkerCopy, group: MemGroupId) -> bool {
 
 /// A queued request with its decoded location (`None` for execute-only
 /// PIM commands, which touch no DRAM).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The request body lives in the controller's packet arena; the queue
+/// entry carries its [`SlabRef`] handle plus the fields the FR-FCFS
+/// scan reads every cycle (`pim`, `meta`, `loc`, `group`, `arrival`),
+/// denormalized here so candidate scanning never dereferences the
+/// arena. The body is resolved exactly once, at dequeue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingReq {
-    /// The request.
-    pub req: MemReq,
+    /// Handle of the request body in the controller's arena.
+    pub req: SlabRef,
+    /// Whether the request is a PIM instruction (seq-order gating).
+    pub pim: bool,
+    /// Issue metadata (warp + per-warp sequence number).
+    pub meta: ReqMeta,
     /// Decoded physical location of its column access, if any.
     pub loc: Option<Location>,
     /// Memory group for ordering purposes.
@@ -239,22 +250,18 @@ impl TransQueue {
 mod tests {
     use super::*;
     use orderlight::fsm::diverge;
-    use orderlight::message::ReqMeta;
     use orderlight::packet::OrderLightPacket;
-    use orderlight::types::{Addr, ChannelId, GlobalWarpId, TsSlot};
-    use orderlight::{PimInstruction, PimOp};
+    use orderlight::slab::Slab;
+    use orderlight::types::{ChannelId, GlobalWarpId};
 
     fn req(group: u8, seq: u64) -> QueueEntry {
+        // TransQueue never dereferences the body handle — the scan runs
+        // entirely on the denormalized fields — so queue-mechanics tests
+        // use a placeholder handle from a throwaway arena.
         QueueEntry::Request(PendingReq {
-            req: MemReq::Pim {
-                instr: PimInstruction {
-                    op: PimOp::Load,
-                    addr: Addr(seq * 32),
-                    slot: TsSlot(0),
-                    group: MemGroupId(group),
-                },
-                meta: ReqMeta { warp: GlobalWarpId(0), seq },
-            },
+            req: Slab::new().insert(()),
+            pim: true,
+            meta: ReqMeta { warp: GlobalWarpId(0), seq },
             loc: None,
             group: MemGroupId(group),
             arrival: seq,

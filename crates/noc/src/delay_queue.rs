@@ -75,7 +75,10 @@ impl<T> DelayQueue<T> {
             Some((rng, max_extra)) => rng.gen_range(*max_extra + 1),
             None => 0,
         };
-        self.items.push_back((now + self.latency + extra, item));
+        // Saturating: a ready deadline past `u64::MAX` clamps to
+        // "never" instead of wrapping behind `now`, where the event
+        // core would treat the head as already due.
+        self.items.push_back((now.saturating_add(self.latency).saturating_add(extra), item));
     }
 
     /// Peeks at the head if its latency has elapsed.
@@ -165,5 +168,17 @@ mod tests {
         let mut q = DelayQueue::new(0, 1);
         q.push(7, 42);
         assert_eq!(q.pop_ready(42), Some(7));
+    }
+
+    #[test]
+    fn ready_deadline_saturates_near_u64_max() {
+        let mut q = DelayQueue::new(4, 2);
+        let now = u64::MAX - 1;
+        q.push('a', now);
+        // The deadline clamps to "never" instead of wrapping behind
+        // `now`, which would make the head appear already ready.
+        assert_eq!(q.next_ready(), Some(u64::MAX));
+        assert!(q.peek_ready(now).is_none());
+        assert_eq!(q.next_event(now), Some(u64::MAX));
     }
 }

@@ -8,11 +8,18 @@
 //! sub-partition and *merged* at the slice exit: a copy blocks its
 //! sub-partition's head until every sibling copy has reached the exit,
 //! then the merged packet moves forward exactly once.
+//!
+//! Packet bodies live in the owning pipe's [`Slab`] arena; the slice's
+//! queues carry 8-byte [`SlabRef`] handles, so forwarding a request is
+//! a handle move, not a [`MemReq`] copy. Only marker divergence and
+//! convergence touch the arena (copies are inserted / merged bodies
+//! removed there).
 
 use crate::delay_queue::DelayQueue;
 use orderlight::fsm::diverge;
 use orderlight::message::{Marker, MarkerCopy, MemReq};
 use orderlight::min_horizon;
+use orderlight::slab::{Slab, SlabRef};
 use orderlight::types::{CoreCycle, GlobalWarpId};
 
 /// Number of sub-partitions per L2 slice.
@@ -21,7 +28,7 @@ pub const SUB_PARTITIONS: usize = 2;
 /// One L2 slice (one memory channel's worth of L2).
 #[derive(Debug, Clone)]
 pub struct L2Slice {
-    subs: [DelayQueue<MemReq>; SUB_PARTITIONS],
+    subs: [DelayQueue<SlabRef>; SUB_PARTITIONS],
     merges: u64,
     forwarded: u64,
     rr: usize,
@@ -97,18 +104,22 @@ impl L2Slice {
         }
     }
 
-    /// Accepts a request, copying markers onto every sub-partition.
+    /// Accepts the request behind `handle`, copying markers onto every
+    /// sub-partition (the original marker body is replaced in the arena
+    /// by one body per copy).
     ///
     /// # Panics
     /// Panics if called while [`can_accept`](Self::can_accept) is false.
-    pub fn push(&mut self, req: MemReq, now: CoreCycle) {
-        match Self::route(&req) {
-            Some(i) => self.subs[i].push(req, now),
+    pub fn push(&mut self, handle: SlabRef, arena: &mut Slab<MemReq>, now: CoreCycle) {
+        match Self::route(arena.get(handle)) {
+            Some(i) => self.subs[i].push(handle, now),
             None => {
-                let MemReq::Marker(copy) = req else { unreachable!("markers have no route") };
+                let MemReq::Marker(copy) = arena.remove(handle) else {
+                    unreachable!("markers have no route")
+                };
                 let copies = diverge(copy.marker, SUB_PARTITIONS);
                 for (sub, c) in self.subs.iter_mut().zip(copies) {
-                    sub.push(MemReq::Marker(c), now);
+                    sub.push(arena.insert(MemReq::Marker(c)), now);
                 }
             }
         }
@@ -116,13 +127,18 @@ impl L2Slice {
 
     /// Drains ready sub-partition heads into `out` (the L2-to-DRAM
     /// queue), handling marker convergence.
-    pub fn tick(&mut self, now: CoreCycle, out: &mut DelayQueue<MemReq>) {
+    pub fn tick(
+        &mut self,
+        now: CoreCycle,
+        out: &mut DelayQueue<SlabRef>,
+        arena: &mut Slab<MemReq>,
+    ) {
         // Marker convergence: when every sub-partition's ready head is a
         // copy of the same marker, merge them and forward one packet.
         let heads_are_copies = self
             .subs
             .iter()
-            .map(|s| match s.peek_ready(now) {
+            .map(|s| match s.peek_ready(now).map(|&r| arena.get(r)) {
                 Some(MemReq::Marker(c)) => Some(c.marker.key()),
                 _ => None,
             })
@@ -136,8 +152,9 @@ impl L2Slice {
             if out.has_space() {
                 let mut marker = None;
                 for sub in &mut self.subs {
-                    match sub.pop_ready(now) {
-                        Some(MemReq::Marker(c)) => marker = Some(c.marker),
+                    let r = sub.pop_ready(now).expect("head was ready");
+                    match arena.remove(r) {
+                        MemReq::Marker(c) => marker = Some(c.marker),
                         _ => unreachable!("head was a ready marker"),
                     }
                 }
@@ -152,7 +169,7 @@ impl L2Slice {
                         return;
                     }
                 }
-                out.push(MemReq::Marker(MarkerCopy { marker, total_copies: 1 }), now);
+                out.push(arena.insert(MemReq::Marker(MarkerCopy { marker, total_copies: 1 })), now);
             }
             return;
         }
@@ -160,13 +177,13 @@ impl L2Slice {
         // A marker head blocks its own sub-partition until merged.
         for k in 0..SUB_PARTITIONS {
             let i = (self.rr + k) % SUB_PARTITIONS;
-            if matches!(self.subs[i].peek_ready(now), Some(MemReq::Marker(_))) {
-                continue;
-            }
-            if self.subs[i].peek_ready(now).is_some() && out.has_space() {
-                let req = self.subs[i].pop_ready(now).expect("peeked ready");
-                out.push(req, now);
-                self.forwarded += 1;
+            match self.subs[i].peek_ready(now) {
+                Some(&r) if !matches!(arena.get(r), MemReq::Marker(_)) && out.has_space() => {
+                    let r = self.subs[i].pop_ready(now).expect("peeked ready");
+                    out.push(r, now);
+                    self.forwarded += 1;
+                }
+                _ => {}
             }
         }
         self.rr = (self.rr + 1) % SUB_PARTITIONS;
@@ -188,8 +205,10 @@ impl L2Slice {
     /// Whether every sub-partition's ready head is a marker copy — the
     /// exact condition under which [`tick`](Self::tick) takes the merge
     /// branch and skips the round-robin pointer advance.
-    fn merge_branch(&self, now: CoreCycle) -> bool {
-        self.subs.iter().all(|s| matches!(s.peek_ready(now), Some(MemReq::Marker(_))))
+    fn merge_branch(&self, now: CoreCycle, arena: &Slab<MemReq>) -> bool {
+        self.subs
+            .iter()
+            .all(|s| matches!(s.peek_ready(now).map(|&r| arena.get(r)), Some(MemReq::Marker(_))))
     }
 
     /// Quiescence horizon of the slice given its output queue: `now` if
@@ -199,16 +218,20 @@ impl L2Slice {
     /// `out` full) contributes no event of its own — its unblocking is
     /// some *other* component's advertised event.
     #[must_use]
-    pub fn next_event(&self, now: CoreCycle, out: &DelayQueue<MemReq>) -> Option<CoreCycle> {
+    pub fn next_event(
+        &self,
+        now: CoreCycle,
+        out: &DelayQueue<SlabRef>,
+        arena: &Slab<MemReq>,
+    ) -> Option<CoreCycle> {
         if out.has_space() {
-            if self.merge_branch(now) {
+            if self.merge_branch(now, arena) {
                 return Some(now);
             }
-            if self
-                .subs
-                .iter()
-                .any(|s| matches!(s.peek_ready(now), Some(r) if !matches!(r, MemReq::Marker(_))))
-            {
+            if self.subs.iter().any(|s| {
+                matches!(s.peek_ready(now).map(|&r| arena.get(r)),
+                    Some(r) if !matches!(r, MemReq::Marker(_)))
+            }) {
                 return Some(now);
             }
         }
@@ -227,8 +250,8 @@ impl L2Slice {
     /// loop advances it every tick *except* when the merge branch runs,
     /// and the branch condition is frozen across the window (head
     /// readiness transitions are themselves horizon events).
-    pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64) {
-        if !self.merge_branch(now) {
+    pub fn skip_quiescent(&mut self, now: CoreCycle, span: u64, arena: &Slab<MemReq>) {
+        if !self.merge_branch(now, arena) {
             self.rr = (self.rr + span as usize % SUB_PARTITIONS) % SUB_PARTITIONS;
         }
     }
@@ -273,12 +296,22 @@ mod tests {
         })
     }
 
-    fn drain(l2: &mut L2Slice, out: &mut DelayQueue<MemReq>, until: CoreCycle) -> Vec<MemReq> {
+    fn push(l2: &mut L2Slice, arena: &mut Slab<MemReq>, req: MemReq, now: CoreCycle) {
+        let handle = arena.insert(req);
+        l2.push(handle, arena, now);
+    }
+
+    fn drain(
+        l2: &mut L2Slice,
+        arena: &mut Slab<MemReq>,
+        out: &mut DelayQueue<SlabRef>,
+        until: CoreCycle,
+    ) -> Vec<MemReq> {
         let mut got = Vec::new();
         for now in 0..until {
-            l2.tick(now, out);
+            l2.tick(now, out, arena);
             while let Some(r) = out.pop_ready(now) {
-                got.push(r);
+                got.push(arena.remove(r));
             }
         }
         got
@@ -287,21 +320,25 @@ mod tests {
     #[test]
     fn requests_route_by_stripe_parity() {
         let mut l2 = L2Slice::new(0, 8);
-        l2.push(pim(0, 0), 0); // stripe 0 -> sub 0
-        l2.push(pim(32, 1), 0); // stripe 1 -> sub 1
+        let mut arena = Slab::new();
+        push(&mut l2, &mut arena, pim(0, 0), 0); // stripe 0 -> sub 0
+        push(&mut l2, &mut arena, pim(32, 1), 0); // stripe 1 -> sub 1
         assert!(!l2.is_empty());
         let mut out = DelayQueue::new(0, 8);
-        let got = drain(&mut l2, &mut out, 3);
+        let got = drain(&mut l2, &mut arena, &mut out, 3);
         assert_eq!(got.len(), 2);
         assert_eq!(l2.forwarded(), 2);
+        assert!(arena.is_empty(), "drained packets leave the arena");
     }
 
     #[test]
     fn marker_copies_merge_and_forward_once() {
         let mut l2 = L2Slice::new(0, 8);
-        l2.push(marker(7), 0);
+        let mut arena = Slab::new();
+        push(&mut l2, &mut arena, marker(7), 0);
+        assert_eq!(arena.len(), SUB_PARTITIONS, "one body per divergence copy");
         let mut out = DelayQueue::new(0, 8);
-        let got = drain(&mut l2, &mut out, 3);
+        let got = drain(&mut l2, &mut arena, &mut out, 3);
         assert_eq!(got.len(), 1);
         match &got[0] {
             MemReq::Marker(c) => {
@@ -310,6 +347,7 @@ mod tests {
             other => panic!("expected marker, got {other:?}"),
         }
         assert_eq!(l2.merges(), 1);
+        assert!(arena.is_empty());
     }
 
     #[test]
@@ -319,15 +357,16 @@ mod tests {
         // behind the copy in sub 0 must wait even though sub 0's head
         // (the copy) arrived.
         let mut l2 = L2Slice::new(0, 8);
-        l2.push(pim(32, 0), 0); // sub 1, ahead of the marker copy there
-        l2.push(marker(1), 0);
-        l2.push(pim(0, 1), 0); // sub 0, behind the marker copy there
+        let mut arena = Slab::new();
+        push(&mut l2, &mut arena, pim(32, 0), 0); // sub 1, ahead of the marker copy there
+        push(&mut l2, &mut arena, marker(1), 0);
+        push(&mut l2, &mut arena, pim(0, 1), 0); // sub 0, behind the marker copy there
         let mut out = DelayQueue::new(0, 8);
 
         // Tick 0: sub-1 head is the early request; sub-0 head is the
         // marker copy (blocks). Only the early request may come out.
-        l2.tick(0, &mut out);
-        let first = out.pop_ready(0).expect("early request forwarded");
+        l2.tick(0, &mut out, &mut arena);
+        let first = out.pop_ready(0).map(|r| arena.remove(r)).expect("early request forwarded");
         match &first {
             MemReq::Pim { meta, .. } => assert_eq!(meta.seq, 0),
             other => panic!("unexpected {other:?}"),
@@ -335,16 +374,20 @@ mod tests {
         assert!(out.pop_ready(0).is_none(), "request behind the copy must wait");
 
         // Tick 1: both copies at heads -> merge.
-        l2.tick(1, &mut out);
-        assert!(matches!(out.pop_ready(1), Some(MemReq::Marker(_))));
+        l2.tick(1, &mut out, &mut arena);
+        assert!(matches!(out.pop_ready(1).map(|r| arena.remove(r)), Some(MemReq::Marker(_))));
         // Tick 2: the blocked request flows.
-        l2.tick(2, &mut out);
-        assert!(matches!(out.pop_ready(2), Some(MemReq::Pim { meta, .. }) if meta.seq == 1));
+        l2.tick(2, &mut out, &mut arena);
+        assert!(matches!(
+            out.pop_ready(2).map(|r| arena.remove(r)),
+            Some(MemReq::Pim { meta, .. }) if meta.seq == 1
+        ));
     }
 
     #[test]
     fn exec_commands_route_by_slot_parity() {
         let mut l2 = L2Slice::new(0, 1);
+        let mut arena = Slab::new();
         let exec = |slot: u16| MemReq::Pim {
             instr: PimInstruction {
                 op: PimOp::Execute(orderlight::AluOp::AddImm(1)),
@@ -355,7 +398,7 @@ mod tests {
             meta: ReqMeta { warp: GlobalWarpId(0), seq: 0 },
         };
         assert!(l2.can_accept(&exec(0)));
-        l2.push(exec(0), 0);
+        push(&mut l2, &mut arena, exec(0), 0);
         assert!(!l2.can_accept(&exec(2)), "sub 0 full");
         assert!(l2.can_accept(&exec(1)), "sub 1 free");
     }
@@ -363,11 +406,12 @@ mod tests {
     #[test]
     fn backpressure_on_full_out_queue() {
         let mut l2 = L2Slice::new(0, 8);
-        l2.push(pim(0, 0), 0);
-        l2.push(pim(64, 1), 0); // also sub 0
+        let mut arena = Slab::new();
+        push(&mut l2, &mut arena, pim(0, 0), 0);
+        push(&mut l2, &mut arena, pim(64, 1), 0); // also sub 0
         let mut out = DelayQueue::new(0, 1);
-        l2.tick(0, &mut out);
-        l2.tick(1, &mut out); // out is full; nothing more forwards
+        l2.tick(0, &mut out, &mut arena);
+        l2.tick(1, &mut out, &mut arena); // out is full; nothing more forwards
         assert_eq!(out.len(), 1);
         assert!(!l2.is_empty());
     }

@@ -4,6 +4,7 @@
 use crate::delay_queue::DelayQueue;
 use crate::l2::L2Slice;
 use orderlight::message::{MemReq, MemResp};
+use orderlight::slab::{Slab, SlabRef};
 use orderlight::types::CoreCycle;
 use orderlight::{min_horizon, NextEvent};
 use orderlight_trace::{sink::nop_sink, SharedSink, TraceEvent};
@@ -94,9 +95,15 @@ impl Default for PipeConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemoryPipe {
-    icnt: DelayQueue<MemReq>,
+    /// Packet bodies for everything in `icnt`, the L2 slice and `out`.
+    /// The request-path queues move [`SlabRef`] handles; a body is
+    /// inserted once at [`push_request`](Self::push_request) and removed
+    /// once at [`pop_mc`](Self::pop_mc) (markers additionally
+    /// diverge/converge inside the L2 slice).
+    arena: Slab<MemReq>,
+    icnt: DelayQueue<SlabRef>,
     l2: L2Slice,
-    out: DelayQueue<MemReq>,
+    out: DelayQueue<SlabRef>,
     ret: DelayQueue<MemResp>,
     sink: SharedSink,
     channel_id: u8,
@@ -107,6 +114,7 @@ impl MemoryPipe {
     #[must_use]
     pub fn new(cfg: &PipeConfig) -> Self {
         MemoryPipe {
+            arena: Slab::with_capacity(cfg.icnt_capacity + cfg.l2_out_capacity),
             icnt: DelayQueue::new(cfg.icnt_latency, cfg.icnt_capacity),
             l2: L2Slice::with_fence_ack(cfg.sub_latency, cfg.sub_capacity, cfg.fence_ack_at_l2),
             out: DelayQueue::new(cfg.l2_out_latency, cfg.l2_out_capacity),
@@ -146,7 +154,8 @@ impl MemoryPipe {
     /// # Panics
     /// Panics if [`can_push`](Self::can_push) is false.
     pub fn push_request(&mut self, req: MemReq, now: CoreCycle) {
-        self.icnt.push(req, now);
+        let handle = self.arena.insert(req);
+        self.icnt.push(handle, now);
     }
 
     /// Advances the pipe's internal stages one core cycle.
@@ -160,15 +169,15 @@ impl MemoryPipe {
             });
         }
         // Interconnect head into the L2 slice.
-        if let Some(head) = self.icnt.peek_ready(now) {
-            if self.l2.can_accept(head) {
-                let req = self.icnt.pop_ready(now).expect("peeked ready");
-                self.l2.push(req, now);
+        if let Some(&head) = self.icnt.peek_ready(now) {
+            if self.l2.can_accept(self.arena.get(head)) {
+                let handle = self.icnt.pop_ready(now).expect("peeked ready");
+                self.l2.push(handle, &mut self.arena, now);
             }
         }
         // L2 sub-partitions into the L2-to-DRAM queue (copy-and-merge
         // happens inside).
-        self.l2.tick(now, &mut self.out);
+        self.l2.tick(now, &mut self.out, &mut self.arena);
         // L2-level fence acknowledgements (only in the insufficient
         // fence-scope ablation) go straight onto the response path.
         for (warp, fence_id) in self.l2.take_acks() {
@@ -179,12 +188,13 @@ impl MemoryPipe {
     /// Peeks at the request ready to enter the memory controller.
     #[must_use]
     pub fn peek_mc(&self, now: CoreCycle) -> Option<&MemReq> {
-        self.out.peek_ready(now)
+        self.out.peek_ready(now).map(|&r| self.arena.get(r))
     }
 
-    /// Pops the request ready to enter the memory controller.
+    /// Pops the request ready to enter the memory controller, retiring
+    /// its body from the arena.
     pub fn pop_mc(&mut self, now: CoreCycle) -> Option<MemReq> {
-        self.out.pop_ready(now)
+        self.out.pop_ready(now).map(|r| self.arena.remove(r))
     }
 
     /// Injects a response at the controller end.
@@ -238,7 +248,7 @@ impl MemoryPipe {
                 cycle += SAMPLE_STRIDE;
             }
         }
-        self.l2.skip_quiescent(now, span);
+        self.l2.skip_quiescent(now, span, &self.arena);
     }
 }
 
@@ -254,13 +264,13 @@ impl NextEvent for MemoryPipe {
     fn next_event(&self, now: u64) -> Option<u64> {
         let mut h = None;
         match self.icnt.peek_ready(now) {
-            Some(head) if self.l2.can_accept(head) => return Some(now),
+            Some(&head) if self.l2.can_accept(self.arena.get(head)) => return Some(now),
             // Ready but blocked: the sub-partition that refuses it is
             // non-empty, so its own head deadline covers the unblocking.
             Some(_) => {}
             None => h = min_horizon(h, self.icnt.next_ready()),
         }
-        h = min_horizon(h, self.l2.next_event(now, &self.out));
+        h = min_horizon(h, self.l2.next_event(now, &self.out, &self.arena));
         h = min_horizon(h, self.out.next_ready().map(|r| r.max(now)));
         h = min_horizon(h, self.ret.next_ready().map(|r| r.max(now)));
         h

@@ -1,0 +1,413 @@
+//! Hierarchical calendar (bucket) queue for the event core.
+//!
+//! [`Calendar`] holds one pending wake-up cycle per component and
+//! answers "which components act next, and when?" in O(1) amortized —
+//! replacing the event core's former global min-scan over every SM,
+//! pipe and controller per hop.
+//!
+//! Layout: a 4096-slot bucket ring indexed by `cycle & 4095`, covering
+//! the window `[base, base + 4096)`, with a two-level u64 bitmap over
+//! the ring (one top word whose bit `w` says "leaf word `w` has a set
+//! bit"; 64 leaf words, one bit per slot) so the nearest occupied slot
+//! is a handful of trailing-zero scans away. Entries beyond the window
+//! land in an unsorted `far` overflow list whose cached minimum is
+//! migrated into the ring as soon as the window slides over it (each
+//! entry migrates at most `distance / 4096` times — amortized O(1) for
+//! horizons bounded by a cycle budget).
+//!
+//! Rescheduling is *earliest-wins with lazy invalidation*: the
+//! authoritative wake-up cycle lives in `scheduled[comp]`; ring and
+//! `far` entries are `(cycle, comp)` hints. A hint is live only if
+//! `scheduled[comp] == cycle` at pop time — a component woken to an
+//! earlier cycle simply leaves its old hint behind to be dropped when
+//! its slot is next drained. All window arithmetic uses `wrapping_sub`
+//! distances, so schedules that cross `u64::MAX` order correctly as
+//! long as every live horizon is within 2^63 cycles of the current
+//! base — vastly beyond any cycle budget.
+
+/// Slot count of the bucket ring; one page of cycles per rotation.
+const RING: usize = 4096;
+/// Leaf bitmap words covering the ring (64 slots per word).
+const WORDS: usize = RING / 64;
+
+/// Sentinel in `scheduled`: the component has no pending wake-up.
+const NONE: u64 = u64::MAX;
+
+/// A calendar queue of per-component wake-up cycles.
+#[derive(Debug)]
+pub struct Calendar {
+    /// Authoritative wake-up cycle per component (`NONE` = unscheduled).
+    scheduled: Vec<u64>,
+    /// Bucket ring: `(cycle, comp)` hints whose cycle maps to the slot.
+    ring: Vec<Vec<(u64, u32)>>,
+    /// Leaf bitmap: bit `b % 64` of word `b / 64` set ⇒ slot `b` may
+    /// hold hints.
+    leaf: [u64; WORDS],
+    /// Top bitmap: bit `w` set ⇒ `leaf[w] != 0`.
+    top: u64,
+    /// Start of the ring window; slots cover `[base, base + RING)`.
+    base: u64,
+    /// Overflow hints at distance ≥ RING from `base` at insert time.
+    /// Purged of dead hints on every pop, so it never outgrows the
+    /// component count.
+    far: Vec<(u64, u32)>,
+}
+
+impl Calendar {
+    /// A calendar for `components` ids, with its window starting at
+    /// `start` (no component may be scheduled before it).
+    #[must_use]
+    pub fn new(components: usize, start: u64) -> Calendar {
+        Calendar {
+            scheduled: vec![NONE; components],
+            ring: vec![Vec::new(); RING],
+            leaf: [0; WORDS],
+            top: 0,
+            base: start,
+            far: Vec::new(),
+        }
+    }
+
+    /// The component's current wake-up cycle, if any.
+    #[must_use]
+    pub fn scheduled_at(&self, comp: u32) -> Option<u64> {
+        match self.scheduled[comp as usize] {
+            NONE => None,
+            at => Some(at),
+        }
+    }
+
+    /// Schedules `comp` to wake at `at`, earliest-wins: a request later
+    /// than the component's current wake-up is a no-op (the component
+    /// re-evaluates its horizon when it wakes anyway).
+    pub fn schedule(&mut self, comp: u32, at: u64) {
+        debug_assert!(
+            at.wrapping_sub(self.base) < u64::MAX / 2,
+            "cannot schedule into the past: at={at} base={}",
+            self.base
+        );
+        let cur = self.scheduled[comp as usize];
+        if cur != NONE && cur.wrapping_sub(self.base) <= at.wrapping_sub(self.base) {
+            return;
+        }
+        self.scheduled[comp as usize] = at;
+        self.insert_hint(comp, at);
+    }
+
+    /// Drops any pending wake-up for `comp` (its stale hints are
+    /// dropped lazily).
+    pub fn cancel(&mut self, comp: u32) {
+        self.scheduled[comp as usize] = NONE;
+    }
+
+    /// Places a hint for `(comp, at)` in the ring or the `far` list.
+    fn insert_hint(&mut self, comp: u32, at: u64) {
+        if at.wrapping_sub(self.base) < RING as u64 {
+            let slot = (at & (RING as u64 - 1)) as usize;
+            self.ring[slot].push((at, comp));
+            self.leaf[slot / 64] |= 1 << (slot % 64);
+            self.top |= 1 << (slot / 64);
+        } else {
+            self.far.push((at, comp));
+        }
+    }
+
+    /// Pops the earliest scheduled cycle and appends its due components
+    /// to `due` (cleared first; ids in arbitrary order — sort if a
+    /// deterministic visit order matters). Returns `None` when nothing
+    /// is scheduled at all. Popped components become unscheduled.
+    ///
+    /// Advances the window to the returned cycle, so subsequent
+    /// schedules must target that cycle or later.
+    pub fn pop_next(&mut self, due: &mut Vec<u32>) -> Option<u64> {
+        due.clear();
+        loop {
+            // Pull overflow hints the window has slid onto (or, with an
+            // empty ring, rebase straight onto the far minimum) before
+            // trusting the ring scan.
+            if !self.far.is_empty() {
+                self.sync_far();
+            }
+            let (t, slot) = self.nearest_slot()?;
+            self.base = t;
+            self.leaf[slot / 64] &= !(1 << (slot % 64));
+            if self.leaf[slot / 64] == 0 {
+                self.top &= !(1 << (slot / 64));
+            }
+            for (cycle, comp) in self.ring[slot].drain(..) {
+                // Live iff the hint matches the authoritative schedule;
+                // duplicates die because the first hit clears it. Hints
+                // from previous window rotations (cycle != t) are dead
+                // by construction: the window never slides past a live
+                // schedule.
+                if cycle == t && self.scheduled[comp as usize] == t {
+                    self.scheduled[comp as usize] = NONE;
+                    due.push(comp);
+                }
+            }
+            if !due.is_empty() {
+                return Some(t);
+            }
+        }
+    }
+
+    /// The nearest occupied ring slot from `base` and the cycle its
+    /// in-window hints correspond to.
+    fn nearest_slot(&self) -> Option<(u64, usize)> {
+        if self.top == 0 {
+            return None;
+        }
+        let start = (self.base & (RING as u64 - 1)) as usize;
+        let mut best: Option<(u64, usize)> = None;
+        let mut top = self.top;
+        while top != 0 {
+            let w = top.trailing_zeros() as usize;
+            top &= top - 1;
+            let mut word = self.leaf[w];
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let slot = w * 64 + b;
+                // Distance of this slot's in-window cycle from base.
+                let dist = ((slot + RING - start) % RING) as u64;
+                if best.is_none_or(|(c, _)| dist < c.wrapping_sub(self.base)) {
+                    best = Some((self.base.wrapping_add(dist), slot));
+                }
+            }
+        }
+        best
+    }
+
+    /// Purges dead overflow hints, rebases an empty ring onto the far
+    /// minimum, and migrates every in-window hint into the ring. Live
+    /// hints are never behind `base` (the window never slides past a
+    /// live schedule), so the purged minimum is a safe rebase target.
+    fn sync_far(&mut self) {
+        let mut min: Option<u64> = None;
+        let mut i = 0;
+        while i < self.far.len() {
+            let (at, comp) = self.far[i];
+            if self.scheduled[comp as usize] != at {
+                self.far.swap_remove(i);
+                continue;
+            }
+            if min.is_none_or(|m| at.wrapping_sub(self.base) < m.wrapping_sub(self.base)) {
+                min = Some(at);
+            }
+            i += 1;
+        }
+        let Some(m) = min else { return };
+        if self.top == 0 {
+            self.base = m;
+        }
+        if m.wrapping_sub(self.base) >= RING as u64 {
+            return;
+        }
+        let mut i = 0;
+        while i < self.far.len() {
+            let (at, comp) = self.far[i];
+            if at.wrapping_sub(self.base) < RING as u64 {
+                self.far.swap_remove(i);
+                self.insert_hint(comp, at);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orderlight::rng::Rng;
+    use std::collections::BTreeMap;
+
+    /// Reference model: a plain map from component to wake-up cycle,
+    /// popped by exhaustive min-scan (the thing the calendar replaces).
+    #[derive(Default)]
+    struct Naive {
+        scheduled: BTreeMap<u32, u64>,
+        base: u64,
+    }
+
+    impl Naive {
+        fn schedule(&mut self, comp: u32, at: u64) {
+            let e = self.scheduled.entry(comp).or_insert(at);
+            if at.wrapping_sub(self.base) < e.wrapping_sub(self.base) {
+                *e = at;
+            }
+        }
+
+        fn pop_next(&mut self) -> Option<(u64, Vec<u32>)> {
+            let base = self.base;
+            let t = self.scheduled.values().copied().min_by_key(|at| at.wrapping_sub(base))?;
+            let due: Vec<u32> =
+                self.scheduled.iter().filter(|&(_, &at)| at == t).map(|(&c, _)| c).collect();
+            for c in &due {
+                self.scheduled.remove(c);
+            }
+            self.base = t;
+            Some((t, due))
+        }
+    }
+
+    fn drain(cal: &mut Calendar) -> Vec<(u64, Vec<u32>)> {
+        let mut out = Vec::new();
+        let mut due = Vec::new();
+        while let Some(t) = cal.pop_next(&mut due) {
+            due.sort_unstable();
+            out.push((t, due.clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_cycle_order_with_batched_components() {
+        let mut cal = Calendar::new(4, 0);
+        cal.schedule(0, 100);
+        cal.schedule(1, 5);
+        cal.schedule(2, 100);
+        cal.schedule(3, 6000); // beyond the 4096 window -> far list
+        assert_eq!(drain(&mut cal), vec![(5, vec![1]), (100, vec![0, 2]), (6000, vec![3])]);
+    }
+
+    #[test]
+    fn earliest_wins_and_later_requests_are_noops() {
+        let mut cal = Calendar::new(2, 0);
+        cal.schedule(0, 500);
+        cal.schedule(0, 20); // pull earlier: wins
+        cal.schedule(0, 300); // later than current 20: no-op
+        assert_eq!(cal.scheduled_at(0), Some(20));
+        let mut due = Vec::new();
+        assert_eq!(cal.pop_next(&mut due), Some(20));
+        assert_eq!(due, vec![0]);
+        // The stale 500-hint must not resurrect component 0.
+        assert_eq!(cal.pop_next(&mut due), None);
+        assert_eq!(cal.scheduled_at(0), None);
+    }
+
+    #[test]
+    fn reschedule_onto_a_stale_hint_cycle_pops_once() {
+        let mut cal = Calendar::new(1, 0);
+        cal.schedule(0, 64); // hint A at 64
+        cal.schedule(0, 10); // hint B at 10; A is now stale
+        let mut due = Vec::new();
+        assert_eq!(cal.pop_next(&mut due), Some(10));
+        cal.schedule(0, 64); // hint C joins stale A in slot 64
+        assert_eq!(cal.pop_next(&mut due), Some(64));
+        assert_eq!(due, vec![0], "duplicate hints must collapse to one pop");
+        assert_eq!(cal.pop_next(&mut due), None);
+    }
+
+    #[test]
+    fn cancel_drops_the_pending_wakeup() {
+        let mut cal = Calendar::new(2, 0);
+        cal.schedule(0, 7);
+        cal.schedule(1, 9);
+        cal.cancel(0);
+        let mut due = Vec::new();
+        assert_eq!(cal.pop_next(&mut due), Some(9));
+        assert_eq!(due, vec![1]);
+        assert_eq!(cal.pop_next(&mut due), None);
+    }
+
+    #[test]
+    fn window_rollover_migrates_far_entries() {
+        let mut cal = Calendar::new(3, 0);
+        // Spread across several full ring rotations.
+        cal.schedule(0, 3 * 4096 + 17);
+        cal.schedule(1, 10 * 4096 + 1);
+        cal.schedule(2, 1);
+        assert_eq!(
+            drain(&mut cal),
+            vec![(1, vec![2]), (3 * 4096 + 17, vec![0]), (10 * 4096 + 1, vec![1])]
+        );
+    }
+
+    /// A far entry must not be shadowed by a later in-window hint once
+    /// the window slides over it (refresh horizons sit just past the
+    /// 4096 window in the real system, so this path is hot).
+    #[test]
+    fn far_entry_entering_the_window_beats_a_later_ring_hint() {
+        let mut cal = Calendar::new(3, 0);
+        cal.schedule(0, 10);
+        cal.schedule(1, 5000); // far at insert time
+        let mut due = Vec::new();
+        assert_eq!(cal.pop_next(&mut due), Some(10));
+        // Window is now based at 10: 5000 is in [10, 10+4096).
+        cal.schedule(2, 5500); // ring hint, later than the far entry
+        assert_eq!(cal.pop_next(&mut due), Some(5000));
+        assert_eq!(due, vec![1]);
+        assert_eq!(cal.pop_next(&mut due), Some(5500));
+        assert_eq!(due, vec![2]);
+    }
+
+    #[test]
+    fn u64_wraparound_orders_across_the_boundary() {
+        // A component parked just before u64::MAX and one just after the
+        // wrap: the pre-wrap cycle must pop first, and scheduling past
+        // the wrap from a pre-wrap base must work.
+        let base = u64::MAX - 100;
+        let mut cal = Calendar::new(3, base);
+        cal.schedule(0, u64::MAX - 2);
+        cal.schedule(1, 3); // wrapped: 105 cycles after base
+        cal.schedule(2, u64::MAX.wrapping_add(5000)); // wrapped far entry
+        assert_eq!(drain(&mut cal), vec![(u64::MAX - 2, vec![0]), (3, vec![1]), (4999, vec![2])]);
+    }
+
+    /// Differential fuzz against the min-scan reference: random
+    /// interleavings of schedules (near, far, duplicate, re-pull) and
+    /// pops, including bases near the u64 wrap, must pop identical
+    /// (cycle, component-set) sequences. This is the never-skip-past-
+    /// the-nearest-event invariant: the calendar may never report a
+    /// cycle later than the true minimum.
+    #[test]
+    fn differential_fuzz_against_min_scan_reference() {
+        for seed in 0..32u64 {
+            let start = if seed % 4 == 3 { u64::MAX - 5000 } else { seed * 977 };
+            let mut rng = Rng::new(0xca1e_da55 ^ seed);
+            let mut cal = Calendar::new(24, start);
+            let mut naive = Naive { base: start, ..Naive::default() };
+            let mut now = start;
+            let mut due = Vec::new();
+            for _ in 0..600 {
+                if !rng.next_u64().is_multiple_of(3) {
+                    let comp = (rng.next_u64() % 24) as u32;
+                    // Mix in-window, boundary and multi-rotation-far
+                    // offsets, including 0 (schedule at `now`).
+                    let at = now.wrapping_add(match rng.next_u64() % 5 {
+                        0 => 0,
+                        1 => rng.next_u64() % 8,
+                        2 => rng.next_u64() % 4096,
+                        3 => 4095 + rng.next_u64() % 3,
+                        _ => rng.next_u64() % 50_000,
+                    });
+                    cal.schedule(comp, at);
+                    naive.schedule(comp, at);
+                } else {
+                    let got = cal.pop_next(&mut due).map(|t| {
+                        due.sort_unstable();
+                        (t, due.clone())
+                    });
+                    let want = naive.pop_next();
+                    assert_eq!(got, want, "seed {seed} diverged at now {now}");
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+            // Drain both to the end.
+            loop {
+                let got = cal.pop_next(&mut due).map(|t| {
+                    due.sort_unstable();
+                    (t, due.clone())
+                });
+                let want = naive.pop_next();
+                assert_eq!(got, want, "seed {seed} diverged draining");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

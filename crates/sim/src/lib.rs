@@ -25,6 +25,7 @@
 //! [`pool`] — a dependency-free scoped-thread pool whose results are
 //! bit-identical to the serial loop at any worker count.
 
+pub mod calendar;
 pub mod config;
 pub mod core_select;
 pub mod experiments;

@@ -2,16 +2,19 @@
 //!
 //! [`System::run`] executes on one of two bit-identical cores (see
 //! `DESIGN.md`, "Quiescence contract"): the dense [`System::step_cycle`]
-//! loop, or the event-driven [`System::step_skip`] loop that asks every
-//! component for its [`orderlight::NextEvent`] horizon and jumps the
-//! clocks straight to the global minimum.
+//! loop, or the event-driven calendar loop (`run_event`) that keeps one
+//! pending wake-up cycle per component in a [`Calendar`] bucket queue,
+//! jumps the clocks straight to the earliest one, and touches only the
+//! components due (or woken) on each executed cycle — every other
+//! component catches up lazily in closed form when it is next involved.
 
+use crate::calendar::Calendar;
 use crate::config::{ExecMode, ExperimentConfig};
 use crate::core_select::{resolve_core, SimCore};
 use crate::stats::RunStats;
 use orderlight::fault::{FaultLayer, FaultPlan};
 use orderlight::types::{ChannelId, CoreCycle, GlobalWarpId, MemCycle, MemGroupId};
-use orderlight::{min_horizon, ConfigError, InstrStream, MemReq, NextEvent};
+use orderlight::{ConfigError, InstrStream, MemReq, NextEvent};
 use orderlight_gpu::{Sm, SmStats, Warp};
 use orderlight_hbm::Channel;
 use orderlight_memctrl::{McConfig, McStats, MemoryController};
@@ -66,6 +69,28 @@ pub struct System {
     clock_acc: u64,
     core_hz: u64,
     mem_hz: u64,
+    /// When recording, the core cycles the event core executed densely
+    /// (the boundaries of its skipped windows). `None` = off.
+    skip_log: Option<Vec<CoreCycle>>,
+}
+
+/// Scratch state of one event-core run: the calendar of per-component
+/// wake-ups, each component's lazy sync point (the first cycle of its
+/// clock domain not yet accounted to it), and the per-cycle due/touched
+/// masks. Component ids are `0..sms`, then pipes, then controllers.
+struct EventState {
+    cal: Calendar,
+    due: Vec<u32>,
+    sm_synced: Vec<CoreCycle>,
+    pipe_synced: Vec<CoreCycle>,
+    mc_synced: Vec<MemCycle>,
+    due_sm: Vec<bool>,
+    due_pipe: Vec<bool>,
+    touched_sm: Vec<bool>,
+    touched_pipe: Vec<bool>,
+    touched_mc: Vec<bool>,
+    pushed_pipe: Vec<bool>,
+    delivered_sm: Vec<bool>,
 }
 
 impl System {
@@ -205,6 +230,7 @@ impl System {
             now: 0,
             mem_now: 0,
             clock_acc: 0,
+            skip_log: None,
         })
     }
 
@@ -422,104 +448,326 @@ impl System {
         debug_assert!(m >= self.mem_now, "memory events cannot be in the past");
         let needed = u128::from(m - self.mem_now + 1) * u128::from(self.core_hz);
         let num = needed - u128::from(self.clock_acc);
-        let s = num.div_ceil(u128::from(self.mem_hz)) as u64;
+        let s = num.div_ceil(u128::from(self.mem_hz));
         debug_assert!(s >= 1, "clock_acc stays below core_hz");
-        self.now + s - 1
+        // Saturating on both the u128 narrowing and the final add: a
+        // saturated memory-domain timer (near `u64::MAX`) must map to a
+        // "never" core cycle, not truncate/wrap into the past — the
+        // calendar rejects past horizons.
+        let s = u64::try_from(s).unwrap_or(u64::MAX);
+        self.now.saturating_add(s - 1)
     }
 
-    /// The global quiescence horizon in core cycles: the earliest cycle
-    /// at which *any* component could change state, or `None` if every
-    /// component is drained. `Some(now)` forces a dense step. Two
-    /// cross-component transfers have no single owner and are paired
-    /// here: an SM's LDST head entering a pipe with space, and a pipe's
-    /// ready out-head entering a willing controller.
-    fn horizon(&self) -> Option<CoreCycle> {
-        let now = self.now;
-        let mut h = None;
-        // Cheapest sources first: any `Some(now)` ends the scan, and the
-        // controllers' idle checks are O(1) while the SM scan walks every
-        // warp. An active controller maps to `now` or `now + 1`.
-        for mc in &self.mcs {
-            if let Some(m) = mc.next_event(self.mem_now) {
-                let at = self.core_cycle_for_mem_event(m);
-                if at == now {
-                    return Some(now);
-                }
-                h = min_horizon(h, Some(at));
-            }
-        }
-        for (ch, pipe) in self.pipes.iter().enumerate() {
-            if let Some(head) = pipe.peek_mc(now) {
-                if self.mcs[ch].can_accept(head) {
-                    return Some(now);
-                }
-                // Refusing controller is active and reports Some(mem_now).
-            }
-            match pipe.next_event(now) {
-                Some(at) if at == now => return Some(now),
-                at => h = min_horizon(h, at),
-            }
-        }
-        for sm in &self.sms {
-            if let Some(head) = sm.peek_ldst() {
-                if self.pipes[self.channel_of(head).index()].can_push() {
-                    return Some(now);
-                }
-                // Blocked head: the full pipe's own queues advertise
-                // when space opens up.
-            }
-            match sm.next_event(now) {
-                Some(at) if at == now => return Some(now),
-                at => h = min_horizon(h, at),
-            }
-        }
-        h
-    }
-
-    /// Jumps every clock forward `span` quiescent core cycles, charging
-    /// per-cycle bookkeeping (stall counters, occupancy integrals,
-    /// round-robin pointers) in closed form. The caller guarantees no
-    /// component's horizon falls inside the window.
-    fn skip_span(&mut self, span: u64) {
-        let now = self.now;
-        for sm in &mut self.sms {
-            sm.skip_quiescent(now, span);
-        }
-        for pipe in &mut self.pipes {
-            pipe.skip_quiescent(now, span);
-        }
+    /// Jumps the global clocks forward `span` core cycles without
+    /// touching any component — the event core's components account for
+    /// skipped windows lazily, each when it is next involved.
+    fn jump_clocks(&mut self, span: u64) {
         let total = u128::from(self.clock_acc) + u128::from(span) * u128::from(self.mem_hz);
-        let ticks = (total / u128::from(self.core_hz)) as u64;
         self.clock_acc = (total % u128::from(self.core_hz)) as u64;
-        for mc in &mut self.mcs {
-            mc.skip_ticks(self.mem_now, ticks);
-        }
-        self.mem_now += ticks;
+        self.mem_now += (total / u128::from(self.core_hz)) as u64;
         self.now += span;
     }
 
-    /// Advances the system by one *hop* of the event core: a dense step
-    /// when some component can act this cycle, otherwise a closed-form
-    /// jump to the global horizon (clamped to `max_core_cycles` so the
-    /// cycle-budget error fires at the same cycle as the dense core's).
-    /// A system with no future event at all (a deadlock the budget will
-    /// catch) burns the remaining budget in one jump.
-    pub fn step_skip(&mut self, max_core_cycles: u64) {
-        let target = match self.horizon() {
-            Some(h) if h > self.now => h.min(max_core_cycles),
-            Some(_) => {
-                self.step_cycle();
-                return;
-            }
-            None => max_core_cycles,
-        };
-        if target > self.now {
-            self.skip_span(target - self.now);
-        } else {
-            // Horizon clamped below a single step: fall back to dense so
-            // the loop always makes progress.
-            self.step_cycle();
+    /// Accounts the quiescent window `[synced[s], upto)` to SM `s` in
+    /// closed form and advances its sync point.
+    fn catch_up_sm(&mut self, ev: &mut EventState, s: usize, upto: CoreCycle) {
+        let gap = upto - ev.sm_synced[s];
+        if gap > 0 {
+            self.sms[s].skip_quiescent(ev.sm_synced[s], gap);
+            ev.sm_synced[s] = upto;
         }
+    }
+
+    /// Accounts the quiescent window `[synced[ch], upto)` to pipe `ch`.
+    fn catch_up_pipe(&mut self, ev: &mut EventState, ch: usize, upto: CoreCycle) {
+        let gap = upto - ev.pipe_synced[ch];
+        if gap > 0 {
+            self.pipes[ch].skip_quiescent(ev.pipe_synced[ch], gap);
+            ev.pipe_synced[ch] = upto;
+        }
+    }
+
+    /// Accounts the idle memory-tick window `[synced[ch], upto)` to
+    /// controller `ch` (leaving its arrival cursor at `upto - 1`, where
+    /// a dense run's last tick would have put it).
+    fn catch_up_mc(&mut self, ev: &mut EventState, ch: usize, upto: MemCycle) {
+        let ticks = upto - ev.mc_synced[ch];
+        if ticks > 0 {
+            self.mcs[ch].skip_ticks(ev.mc_synced[ch], ticks);
+            ev.mc_synced[ch] = upto;
+        }
+    }
+
+    /// The event core: a calendar-queue loop that executes only the
+    /// cycles on which some component acts, and on those cycles touches
+    /// only the due components. Equivalent to running
+    /// [`step_cycle`](Self::step_cycle) every cycle — bit-identically,
+    /// including the trace stream — because:
+    ///
+    /// * every component's [`NextEvent`] horizon is registered in the
+    ///   calendar whenever the component is mutated, so no state change
+    ///   can hide inside a skipped window (the quiescence contract);
+    /// * cross-component hand-offs (LDST head into a pipe with space,
+    ///   deliveries into an SM) wake the destination for the next
+    ///   cycle, covering the two transfers that have no single owner;
+    /// * a component not ticked on an executed cycle is quiescent there
+    ///   by construction and accounts the window lazily
+    ///   (`skip_quiescent` / `skip_ticks`) before its next mutation, so
+    ///   stall counters, occupancy integrals and synthesized trace
+    ///   events land exactly as the dense core's would.
+    ///
+    /// The budget error fires at the same cycle as the dense core's; a
+    /// system with no future event at all (a deadlock the budget will
+    /// catch) burns the remaining budget in one jump.
+    fn run_event(&mut self, max_core_cycles: u64) -> Result<(), SimError> {
+        let (n_sms, n_pipes, n_mcs) = (self.sms.len(), self.pipes.len(), self.mcs.len());
+        let total = n_sms + n_pipes + n_mcs;
+        let mut ev = EventState {
+            cal: Calendar::new(total, self.now),
+            due: Vec::with_capacity(total),
+            sm_synced: vec![self.now; n_sms],
+            pipe_synced: vec![self.now; n_pipes],
+            mc_synced: vec![self.mem_now; n_mcs],
+            due_sm: vec![false; n_sms],
+            due_pipe: vec![false; n_pipes],
+            touched_sm: vec![false; n_sms],
+            touched_pipe: vec![false; n_pipes],
+            touched_mc: vec![false; n_mcs],
+            pushed_pipe: vec![false; n_pipes],
+            delivered_sm: vec![false; n_sms],
+        };
+        // Bootstrap: everyone wakes on the first cycle (equivalent to a
+        // dense step) and re-registers its true horizon from there.
+        for c in 0..total {
+            ev.cal.schedule(c as u32, self.now);
+        }
+        loop {
+            if self.is_done() {
+                // Account the trailing quiescent window to every lazy
+                // component, so counters, occupancy integrals and
+                // synthesized periodic events match a dense run that
+                // ticked through cycle `now - 1`.
+                for s in 0..n_sms {
+                    self.catch_up_sm(&mut ev, s, self.now);
+                }
+                for ch in 0..n_pipes {
+                    self.catch_up_pipe(&mut ev, ch, self.now);
+                }
+                for ch in 0..n_mcs {
+                    self.catch_up_mc(&mut ev, ch, self.mem_now);
+                }
+                return Ok(());
+            }
+            if self.now >= max_core_cycles {
+                return Err(self.budget_error());
+            }
+            let Some(t) = ev.cal.pop_next(&mut ev.due) else {
+                // No component will ever act again, yet the system is
+                // not drained: burn the budget so the deadlock error
+                // fires at the same cycle as the dense core's.
+                self.jump_clocks(max_core_cycles - self.now);
+                continue;
+            };
+            if t >= max_core_cycles {
+                self.jump_clocks(max_core_cycles - self.now);
+                continue;
+            }
+            debug_assert!(t >= self.now, "calendar may not fire in the past");
+            self.jump_clocks(t - self.now);
+            if let Some(log) = self.skip_log.as_mut() {
+                log.push(t);
+            }
+            self.step_event_cycle(t, &mut ev);
+        }
+    }
+
+    /// Executes core cycle `t` touching only due or woken components,
+    /// in exactly [`step_cycle`](Self::step_cycle)'s phase and index
+    /// order. `self.now` must equal `t` on entry and is `t + 1` after.
+    fn step_event_cycle(&mut self, t: CoreCycle, ev: &mut EventState) {
+        let n_sms = self.sms.len();
+        let n_pipes = self.pipes.len();
+        let pipe_base = n_sms;
+        let mc_base = n_sms + n_pipes;
+        for m in [&mut ev.due_sm, &mut ev.touched_sm, &mut ev.delivered_sm] {
+            m.fill(false);
+        }
+        for m in [&mut ev.due_pipe, &mut ev.touched_pipe, &mut ev.pushed_pipe] {
+            m.fill(false);
+        }
+        ev.touched_mc.fill(false);
+        for i in 0..ev.due.len() {
+            let c = ev.due[i] as usize;
+            if c < pipe_base {
+                ev.due_sm[c] = true;
+            } else if c < mc_base {
+                ev.due_pipe[c - pipe_base] = true;
+            }
+            // A due controller only forces the cycle to execute; phase 4
+            // re-derives per-tick activity from `next_event` directly.
+        }
+
+        // 1. Due SMs issue.
+        for s in 0..n_sms {
+            if !ev.due_sm[s] {
+                continue;
+            }
+            self.catch_up_sm(ev, s, t);
+            self.sms[s].tick(t);
+            ev.sm_synced[s] = t + 1;
+            ev.touched_sm[s] = true;
+        }
+
+        // 2. LDST queues drain into the per-channel pipes. Contents-
+        //    driven, so every SM participates (a blocked head from an
+        //    earlier cycle drains the moment its pipe has space, exactly
+        //    as in the dense loop).
+        for s in 0..n_sms {
+            for _ in 0..LDST_DRAIN_PER_CYCLE {
+                let Some(head) = self.sms[s].peek_ldst() else { break };
+                let ch = self.channel_of(head).index();
+                if !self.pipes[ch].can_push() {
+                    break;
+                }
+                // An un-ticked source SM is quiescent at `t` (its only
+                // action this cycle is this externally-driven pop):
+                // account through `t` before mutating it.
+                self.catch_up_sm(ev, s, t + 1);
+                let req = self.sms[s].pop_ldst().expect("peeked head");
+                self.catch_up_pipe(ev, ch, t);
+                self.pipes[ch].push_request(req, t);
+                ev.touched_sm[s] = true;
+                ev.touched_pipe[ch] = true;
+                ev.pushed_pipe[ch] = true;
+            }
+        }
+
+        // 3. Due (or freshly pushed) pipes advance; ready heads enter
+        //    the controllers, whose arrival cursor first catches up to
+        //    the memory tick a dense run would have it at.
+        for ch in 0..n_pipes {
+            if !(ev.due_pipe[ch] || ev.pushed_pipe[ch]) {
+                continue;
+            }
+            self.catch_up_pipe(ev, ch, t);
+            self.pipes[ch].tick(t);
+            ev.pipe_synced[ch] = t + 1;
+            ev.touched_pipe[ch] = true;
+            for _ in 0..MC_INGEST_PER_CYCLE {
+                let Some(head) = self.pipes[ch].peek_mc(t) else { break };
+                if !self.mcs[ch].can_accept(head) {
+                    break;
+                }
+                let req = self.pipes[ch].pop_mc(t).expect("peeked head");
+                self.catch_up_mc(ev, ch, self.mem_now);
+                self.mcs[ch].push(req);
+                ev.touched_mc[ch] = true;
+            }
+        }
+
+        // 4. Memory clock domain: tick the controllers that act on each
+        //    accumulated memory cycle (an idle controller's tick is pure
+        //    bookkeeping, reproduced in closed form when it next syncs).
+        self.clock_acc += self.mem_hz;
+        while self.clock_acc >= self.core_hz {
+            self.clock_acc -= self.core_hz;
+            let m = self.mem_now;
+            for ch in 0..self.mcs.len() {
+                if self.mcs[ch].next_event(m) != Some(m) {
+                    continue;
+                }
+                self.catch_up_mc(ev, ch, m);
+                let resps = self.mcs[ch].tick(m);
+                ev.mc_synced[ch] = m + 1;
+                ev.touched_mc[ch] = true;
+                for resp in resps {
+                    // The receiving pipe must have accounted cycle `t`
+                    // (dense pipes tick in phase 3, before responses
+                    // arrive) so its periodic samples exclude the
+                    // response.
+                    self.catch_up_pipe(ev, ch, t + 1);
+                    self.pipes[ch].push_response(resp, t);
+                    ev.touched_pipe[ch] = true;
+                }
+            }
+            self.mem_now += 1;
+        }
+
+        // 5. Responses return to their SMs. Only touched pipes can hold
+        //    a ready response: a return path's ready deadline is itself
+        //    a calendar event, so its pipe is due the cycle it matures.
+        for ch in 0..n_pipes {
+            if !ev.touched_pipe[ch] {
+                continue;
+            }
+            while let Some(resp) = self.pipes[ch].pop_response(t) {
+                let s = resp.warp().sm();
+                self.catch_up_sm(ev, s, t + 1);
+                self.sms[s].deliver(resp);
+                ev.touched_sm[s] = true;
+                ev.delivered_sm[s] = true;
+            }
+        }
+
+        self.now = t + 1;
+
+        // Re-register every touched component's horizon. Untouched
+        // components keep their standing wake-ups, which remain valid:
+        // nothing they depend on changed.
+        for s in 0..n_sms {
+            if !ev.touched_sm[s] {
+                continue;
+            }
+            if ev.delivered_sm[s] {
+                // A delivery may have readied or completed a warp; the
+                // next dense tick issues or retires it. Unconditional
+                // (not gated on what the delivery did or on a sink), so
+                // skip decisions are observation-independent.
+                ev.cal.schedule(s as u32, t + 1);
+            } else if let Some(at) = self.sms[s].next_event(t + 1) {
+                ev.cal.schedule(s as u32, at);
+            }
+        }
+        for ch in 0..n_pipes {
+            if !ev.touched_pipe[ch] {
+                continue;
+            }
+            if let Some(at) = self.pipes[ch].next_event(t + 1) {
+                ev.cal.schedule((pipe_base + ch) as u32, at);
+            }
+        }
+        for ch in 0..self.mcs.len() {
+            if !ev.touched_mc[ch] {
+                continue;
+            }
+            if let Some(m) = self.mcs[ch].next_event(self.mem_now) {
+                let at = self.core_cycle_for_mem_event(m);
+                ev.cal.schedule((mc_base + ch) as u32, at);
+            }
+        }
+        // The LDST-to-pipe hand-off has no single owner: an SM whose
+        // queued head faces a pipe with space acts next cycle (covers
+        // both rate-limit leftovers and pipes that just freed space).
+        for s in 0..n_sms {
+            let Some(head) = self.sms[s].peek_ldst() else { continue };
+            if self.pipes[self.channel_of(head).index()].can_push() {
+                ev.cal.schedule(s as u32, t + 1);
+            }
+        }
+    }
+
+    /// Starts or stops recording the event core's executed-cycle
+    /// sequence (the boundaries of its skipped windows). Observe-only:
+    /// recording never changes skip decisions. Starting resets any
+    /// previous recording.
+    pub fn record_skip_boundaries(&mut self, on: bool) {
+        self.skip_log = on.then(Vec::new);
+    }
+
+    /// Takes the recorded executed-cycle sequence (empty if recording
+    /// was never enabled) and stops recording.
+    pub fn take_skip_boundaries(&mut self) -> Vec<CoreCycle> {
+        self.skip_log.take().unwrap_or_default()
     }
 
     /// Whether every warp retired and the memory system is drained.
@@ -567,11 +815,20 @@ impl System {
         self.run_with(max_core_cycles, resolve_core(None))
     }
 
+    /// The budget-exhaustion error, fired at the same cycle by both
+    /// cores.
+    fn budget_error(&self) -> SimError {
+        SimError::new(format!(
+            "not drained after {} core cycles (workload {}, mode {})",
+            self.now, self.exp.workload, self.exp.mode
+        ))
+    }
+
     /// Runs to completion on an explicitly chosen core. The two cores
-    /// are bit-identical (enforced by `tests/core_equivalence.rs`),
-    /// including the trace stream a live sink observes: skipped windows
-    /// synthesize their periodic events closed-form (see
-    /// `System::step_skip` and `tests/profile_core_equivalence.rs`), so
+    /// are bit-identical (enforced by `tests/core_equivalence.rs` and
+    /// `tests/horizon_fuzz.rs`), including the trace stream a live sink
+    /// observes: windows the event core skips synthesize their periodic
+    /// events closed-form (see `tests/profile_core_equivalence.rs`), so
     /// traced and profiled runs use whichever core is selected. The run
     /// stops at the exact drain cycle — completion is checked every
     /// step, so `RunStats::core_cycles` never overshoots.
@@ -580,17 +837,16 @@ impl System {
     /// Returns [`SimError`] if the system has not drained within the
     /// budget — a deadlock or a budget that is simply too small.
     pub fn run_with(&mut self, max_core_cycles: u64, core: SimCore) -> Result<RunStats, SimError> {
-        while !self.is_done() {
-            if self.now >= max_core_cycles {
-                return Err(SimError::new(format!(
-                    "not drained after {} core cycles (workload {}, mode {})",
-                    self.now, self.exp.workload, self.exp.mode
-                )));
+        match core {
+            SimCore::Cycle => {
+                while !self.is_done() {
+                    if self.now >= max_core_cycles {
+                        return Err(self.budget_error());
+                    }
+                    self.step_cycle();
+                }
             }
-            match core {
-                SimCore::Cycle => self.step_cycle(),
-                SimCore::Event => self.step_skip(max_core_cycles),
-            }
+            SimCore::Event => self.run_event(max_core_cycles)?,
         }
         // Close every SM's open stall runs so a stall-attribution
         // consumer sees each charged cycle exactly once (no-op without

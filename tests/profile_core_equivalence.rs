@@ -13,10 +13,12 @@
 //! the full fig10/fig12 sweeps are tier 2 (`--include-ignored` /
 //! `ORDERLIGHT_TIER2=1 ./ci.sh`).
 
+use std::sync::Arc;
+
 use orderlight_suite::core::rng::Rng;
 use orderlight_suite::hbm::RefreshParams;
 use orderlight_suite::pim::TsSize;
-use orderlight_suite::profile::profile_scenario;
+use orderlight_suite::profile::{profile_scenario, StallProfiler};
 use orderlight_suite::sim::config::{ExecMode, ExperimentConfig};
 use orderlight_suite::sim::experiments::{
     apply_sm_policy, fig05_points, fig10_points, fig12_points, JobSpec,
@@ -135,6 +137,40 @@ fn randomized_configs_reports_agree_across_cores() {
             };
             assert_reports_agree(&label, &build(SimCore::Cycle), &build(SimCore::Event));
         }
+    }
+}
+
+/// The strongest form of the observe-only contract: attaching a
+/// [`StallProfiler`] must not perturb the event core's **skip
+/// decisions** — not just the end-of-run stats, but the exact sequence
+/// of cycles the calendar chooses to execute. A sink that nudged any
+/// component's `next_event` horizon would change which cycles run long
+/// before it changed a counter.
+#[test]
+fn profiler_sink_does_not_perturb_skip_decisions() {
+    for spec in fig05_points(DATA) {
+        let boundaries = |with_sink: bool| {
+            let scenario = spec.builder().core(SimCore::Event).build().expect("builds");
+            let mut sys = scenario.system().expect("system builds");
+            if with_sink {
+                sys.attach_sink(Arc::new(StallProfiler::new(sys.clock_domains())));
+            }
+            sys.record_skip_boundaries(true);
+            let stats = sys.run_with(scenario.budget(), SimCore::Event).expect("runs");
+            (sys.take_skip_boundaries(), stats)
+        };
+        let (plain, plain_stats) = boundaries(false);
+        let (profiled, profiled_stats) = boundaries(true);
+        let label = format!("{} {}", spec.workload, spec.mode);
+        assert!(
+            (plain.len() as u64) < plain_stats.core_cycles,
+            "{label}: the event core must actually skip cycles here"
+        );
+        assert_eq!(
+            profiled, plain,
+            "{label}: attaching a profiler must not change which cycles execute"
+        );
+        assert_eq!(profiled_stats, plain_stats, "{label}: stats must stay bit-identical");
     }
 }
 
