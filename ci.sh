@@ -55,18 +55,35 @@ if [[ "${ORDERLIGHT_TIER2:-0}" != "0" ]]; then
     cargo test --release --test horizon_fuzz -q -- --include-ignored
 fi
 
-# Ordering-violation oracle gate: a clean OrderLight run must stay
-# clean under both cores — with and without the legal fault layers —
-# and the seeded drop-edge mutation must make the oracle fire (the
-# `check --mutate` self-test exits non-zero if the oracle stays
-# silent on the deliberately broken schedule).
-echo "==> orderlight check (oracle gate, both cores)"
+# Ordering-violation oracle gate, per backend: every ordering backend
+# (orderlight, fence, seqnum, louvre, bulk) must run clean under the
+# oracle, and the seeded drop-edge mutation must make the check fire
+# for each (the `check --mutate` self-test exits non-zero if the
+# deliberately broken schedule stays clean). The adversarial scheduler
+# rides along on the mutation leg so the opened window is actually hit.
+echo "==> orderlight check (oracle gate, per backend)"
 ./target/release/orderlight check --core cycle --data-kb 32
-./target/release/orderlight check --core event --data-kb 32
 ./target/release/orderlight check --core event --data-kb 32 --faults all --seed 1
+for backend in orderlight fence seqnum louvre bulk; do
+    ./target/release/orderlight check --core event --data-kb 32 --mode "$backend"
+    ./target/release/orderlight check --core event --data-kb 32 --mode "$backend" \
+        --faults sched --mutate 0:0
+done
 
-echo "==> orderlight check --mutate (oracle mutation gate)"
-./target/release/orderlight check --core event --data-kb 32 --mutate 0:0
+# Cross-primitive comparison smoke: one checked run per backend,
+# recording speedup vs. the fence baseline, violation-freedom and
+# in-band metadata cost. Exits non-zero if any backend's run is dirty;
+# the grep then gates on the records actually landing in the v5 JSON.
+echo "==> orderlight compare-ordering (cross-primitive smoke)"
+tmpcmp="$(mktemp)"
+./target/release/orderlight compare-ordering --data-kb 8 --out "$tmpcmp"
+grep -q '"schema": "orderlight/bench-sweep/v5"' "$tmpcmp" \
+    || { echo "compare-ordering did not write a v5 document"; exit 1; }
+for backend in orderlight fence seqnum louvre bulk; do
+    grep -q "\"ordering\": \"$backend\"" "$tmpcmp" \
+        || { echo "compare-ordering is missing the $backend record"; exit 1; }
+done
+rm -f "$tmpcmp"
 
 # Stall-attribution profiler gate, under the EVENT core: profile the
 # Figure 5 scenario pair (fence baseline and OrderLight) on the
@@ -96,10 +113,15 @@ cmp "$tmpdir/fig05_fence.profile.json" "$tmpdir/fig05_fence_cycle.profile.json" 
 # any bit-level mismatch. `--profile` additionally re-runs each figure
 # under the event core with the profiler attached (failing on any
 # conservation violation) and records per-cause stall deltas plus the
-# observability overhead in the schema-v4 JSON.
+# observability overhead in the schema-v5 JSON, alongside the
+# per-backend ordering comparison records.
 echo "==> orderlight bench --quick --profile (sweep + core + observability regression)"
 ./target/release/orderlight bench --quick --profile --out BENCH_sweep.json
 echo "    wrote BENCH_sweep.json"
+grep -q '"schema": "orderlight/bench-sweep/v5"' BENCH_sweep.json \
+    || { echo "bench did not write a v5 document"; exit 1; }
+grep -q '"ordering": "louvre"' BENCH_sweep.json \
+    || { echo "bench JSON is missing the per-backend ordering records"; exit 1; }
 
 # Observability overhead budget: the profiled event-core fig05 sweep
 # must cost at most 1.5x its unprofiled wall time. The per-figure

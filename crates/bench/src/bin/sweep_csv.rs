@@ -17,10 +17,11 @@ fn emit(rows: &[SweepPoint], figure: &str) {
     for p in rows {
         let s = &p.stats;
         println!(
-            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
+            "{figure},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
             p.workload,
             p.ts.replace(' ', ""),
             p.mode,
+            p.ordering,
             p.bmf,
             s.exec_time_ms,
             s.command_bandwidth_gcs,
@@ -42,7 +43,7 @@ fn main() {
     let args = cli::parse();
     let (data, jobs) = (args.data, args.jobs);
     println!(
-        "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified"
+        "figure,workload,ts,mode,ordering,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified"
     );
     emit(&fig10_jobs(data, jobs).expect("fig10"), "fig10");
     emit(&fig12_jobs(data, jobs).expect("fig12"), "fig12");

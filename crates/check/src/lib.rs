@@ -38,8 +38,10 @@
 //! # }
 //! ```
 
+pub mod compare;
 pub mod oracle;
 pub mod runner;
 
+pub use compare::{compare_backends, BackendRecord, COMPARE_BACKENDS};
 pub use oracle::{CheckReport, OrderingOracle, Violation, ViolationKind};
 pub use runner::{check_scenario, CheckOutcome};

@@ -53,6 +53,15 @@ pub enum ViolationKind {
         /// The warp's outstanding request count at acknowledgement.
         outstanding: u64,
     },
+    /// A warp's request issued with a sequence number below one the warp
+    /// already issued at this controller — only checked when the
+    /// per-warp sequence discipline is opted in
+    /// ([`OrderingOracle::with_seq_check`], for the SeqNum backend whose
+    /// promise is in-order issue rather than in-band barriers).
+    SeqRegression {
+        /// The highest sequence number the warp had already issued.
+        prev_seq: u64,
+    },
 }
 
 /// One violated ordering edge.
@@ -92,6 +101,11 @@ impl fmt::Display for Violation {
                 f,
                 "cycle {}: ch{} fence {} of warp {} acknowledged with {} request(s) outstanding",
                 self.cycle, self.channel, fence_id, self.warp, outstanding
+            ),
+            ViolationKind::SeqRegression { prev_seq } => write!(
+                f,
+                "cycle {}: ch{} warp {} issued seq {} after already issuing seq {}",
+                self.cycle, self.channel, self.warp, self.seq, prev_seq
             ),
         }
     }
@@ -157,12 +171,18 @@ struct GroupState {
 struct ChannelState {
     groups: HashMap<u8, GroupState>,
     warp_outstanding: HashMap<u32, u64>,
+    /// Highest sequence number each warp has issued (seq-check mode).
+    warp_last_seq: HashMap<u32, u64>,
 }
 
 #[derive(Debug, Default)]
 struct OracleState {
     channels: HashMap<u8, ChannelState>,
     report: CheckReport,
+    /// Opt-in per-warp issue-order discipline (the SeqNum backend's
+    /// promise). Off by default: no other backend orders across an
+    /// entire warp's stream.
+    seq_check: bool,
 }
 
 impl OracleState {
@@ -192,9 +212,24 @@ impl OracleState {
             }
             TraceEvent::ReqIssued { cycle, channel, group, warp, seq } => {
                 self.report.reqs_issued += 1;
+                let seq_check = self.seq_check;
                 let ch = self.channels.entry(channel).or_default();
                 let key = (warp, seq);
                 let mut violations = Vec::new();
+                if seq_check {
+                    let last = ch.warp_last_seq.entry(warp).or_default();
+                    if seq < *last {
+                        violations.push(Violation {
+                            cycle,
+                            channel,
+                            group,
+                            warp,
+                            seq,
+                            kind: ViolationKind::SeqRegression { prev_seq: *last },
+                        });
+                    }
+                    *last = (*last).max(seq);
+                }
                 let gs = ch.groups.entry(group).or_default();
                 for barrier in &mut gs.barriers {
                     if !barrier.pre.remove(&key) && !barrier.pre.is_empty() {
@@ -263,6 +298,17 @@ impl OrderingOracle {
     #[must_use]
     pub fn new() -> OrderingOracle {
         OrderingOracle::default()
+    }
+
+    /// A fresh oracle that additionally checks per-warp issue order
+    /// (sequence numbers must be non-decreasing per warp and channel).
+    /// This is the promise of the SeqNum backend, which emits no in-band
+    /// packets for the barrier machinery to check.
+    #[must_use]
+    pub fn with_seq_check() -> OrderingOracle {
+        let o = OrderingOracle::default();
+        o.state.lock().expect("oracle poisoned").seq_check = true;
+        o
     }
 
     /// A snapshot of the verdict so far (cheap after a run; clones the

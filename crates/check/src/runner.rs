@@ -21,21 +21,24 @@ pub struct CheckOutcome {
 }
 
 impl CheckOutcome {
-    /// Whether the run was clean on both axes: no happens-before edge
-    /// violated and every output byte matching the golden model.
+    /// Whether the run was clean on all three axes: no happens-before
+    /// edge violated, every output byte matching the golden model, and
+    /// no backend-internal sanity violation (non-monotonic packet
+    /// numbers, out-of-order retires).
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.report.is_clean() && self.stats.is_correct()
+        self.report.is_clean() && self.stats.is_correct() && self.stats.mc.sanity_violations == 0
     }
 
-    /// One-line human summary covering both axes.
+    /// One-line human summary covering all axes.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{}; dram bytes: {} ok / {} wrong{}",
+            "{}; dram bytes: {} ok / {} wrong; {} backend sanity violation(s){}",
             self.report.summary(),
             self.stats.verified_matches,
             self.stats.verified_mismatches,
+            self.stats.mc.sanity_violations,
             if self.edges_dropped > 0 {
                 format!(" (mutation elided {} ordering edge(s))", self.edges_dropped)
             } else {
@@ -55,7 +58,14 @@ impl CheckOutcome {
 /// # Errors
 /// Returns [`SimError`] on build failure or budget exhaustion.
 pub fn check_scenario(scenario: &Scenario) -> Result<CheckOutcome, SimError> {
-    let oracle = Arc::new(OrderingOracle::new());
+    // The SeqNum backend promises per-warp in-order issue instead of
+    // in-band barriers; opt the oracle into the matching discipline.
+    let seq_mode = matches!(
+        scenario.experiment().mode,
+        orderlight_sim::config::ExecMode::Pim(orderlight_workloads::OrderingMode::SeqNum)
+    );
+    let oracle =
+        Arc::new(if seq_mode { OrderingOracle::with_seq_check() } else { OrderingOracle::new() });
     let mut sys = scenario.system()?;
     sys.attach_observer(oracle.clone());
     let stats = sys.run_with(scenario.budget(), scenario.core())?;

@@ -197,6 +197,16 @@ pub enum OrderingInstr {
         /// packet.
         group: MemGroupId,
     },
+    /// A Louvre-style versioned release (Kumar et al.): inject a release
+    /// marker stamped with the warp's per-group version counter and keep
+    /// issuing. The controller holds the marker at its scheduler stage
+    /// until every older-version request of the group has been issued —
+    /// no per-group flag is ever broadcast.
+    Release {
+        /// Memory group whose older-version requests must drain before
+        /// anything behind the marker is scheduled.
+        group: MemGroupId,
+    },
 }
 
 /// One instruction of a host kernel.

@@ -26,6 +26,13 @@ pub enum Marker {
     /// An OrderLight packet: enforced at the memory controller, never
     /// stalls the core.
     OrderLight(OrderLightPacket),
+    /// A Louvre-style versioned release marker. It reuses the OrderLight
+    /// packet encoding (channel, group set, 32-bit number) but the number
+    /// is a per-group *version* stamped at the core; the controller holds
+    /// the marker at its scheduler stage until every older-version
+    /// request of its groups has issued, instead of broadcasting a
+    /// per-group flag.
+    Release(OrderLightPacket),
     /// A fence probe: the baseline core-centric fence. The memory
     /// controller acknowledges it once every prior PIM request from the
     /// same warp has been issued to the DRAM; the warp stalls until the
@@ -50,6 +57,11 @@ impl Marker {
                 group_bits: p.groups().fold(0u16, |acc, g| acc | 1 << g.0),
                 number: p.number(),
             },
+            Marker::Release(p) => MarkerKey::Release {
+                channel: p.channel(),
+                group_bits: p.groups().fold(0u16, |acc, g| acc | 1 << g.0),
+                number: p.number(),
+            },
             Marker::FenceProbe { warp, fence_id, .. } => {
                 MarkerKey::Fence { warp: *warp, fence_id: *fence_id }
             }
@@ -60,7 +72,7 @@ impl Marker {
     #[must_use]
     pub fn channel(&self) -> ChannelId {
         match self {
-            Marker::OrderLight(p) => p.channel(),
+            Marker::OrderLight(p) | Marker::Release(p) => p.channel(),
             Marker::FenceProbe { channel, .. } => *channel,
         }
     }
@@ -70,6 +82,7 @@ impl fmt::Display for Marker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Marker::OrderLight(p) => write!(f, "{p}"),
+            Marker::Release(p) => write!(f, "release[{p}]"),
             Marker::FenceProbe { warp, fence_id, channel } => {
                 write!(f, "fence[{warp} #{fence_id} ch{}]", channel.0)
             }
@@ -87,6 +100,15 @@ pub enum MarkerKey {
         /// Bitmask of constrained memory groups.
         group_bits: u16,
         /// Packet number.
+        number: u32,
+    },
+    /// Identity of a Louvre-style versioned release marker.
+    Release {
+        /// Target channel.
+        channel: ChannelId,
+        /// Bitmask of constrained memory groups.
+        group_bits: u16,
+        /// Release version.
         number: u32,
     },
     /// Identity of a fence probe.

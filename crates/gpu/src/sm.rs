@@ -331,7 +331,9 @@ impl Sm {
                     None
                 }
             }
-            KernelInstr::Ordering(OrderingInstr::OrderLight { group }) => {
+            KernelInstr::Ordering(
+                OrderingInstr::OrderLight { group } | OrderingInstr::Release { group },
+            ) => {
                 if self.oc.pim_count(self.cores[i].channel(), group) > 0 {
                     Some(StallCause::OlWait)
                 } else if !self.ldst_has_space() {
@@ -462,6 +464,33 @@ impl Sm {
                 self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
                 self.ldst.push_back(MemReq::Marker(MarkerCopy {
                     marker: Marker::OrderLight(packet),
+                    total_copies: 1,
+                }));
+                self.stats.orderlights += 1;
+                self.trace_issue(now, id, InstrKind::OrderLight);
+                if self.sink.is_enabled() {
+                    self.sink.emit(TraceEvent::PacketCreated {
+                        cycle: now,
+                        channel: channel.0,
+                        group: group.0,
+                        number,
+                        warp: id.0,
+                    });
+                }
+                true
+            }
+            KernelInstr::Ordering(OrderingInstr::Release { group }) => {
+                // Louvre-style release: same in-band injection path as an
+                // OrderLight packet, but the number is the warp's
+                // per-group release version and enforcement (the hold
+                // until older requests drain) happens at the controller.
+                let channel = self.cores[i].channel();
+                let id = self.cores[i].id();
+                let number = self.cores[i].next_release_version(group);
+                let packet = OrderLightPacket::new(channel, group, number);
+                self.cores[i].advance(&mut self.curs[i], &mut self.states[i]);
+                self.ldst.push_back(MemReq::Marker(MarkerCopy {
+                    marker: Marker::Release(packet),
                     total_copies: 1,
                 }));
                 self.stats.orderlights += 1;

@@ -64,6 +64,7 @@ pub struct WarpCore {
     seq: u64,
     fence_counter: u64,
     ol_numbers: [u32; 16],
+    release_versions: [u32; 16],
 }
 
 impl WarpCore {
@@ -148,6 +149,14 @@ impl WarpCore {
         *n
     }
 
+    /// Next Louvre release version for `group` (per-warp, per-group
+    /// version counter stamped into release markers).
+    pub fn next_release_version(&mut self, group: MemGroupId) -> u32 {
+        let n = &mut self.release_versions[group.index()];
+        *n += 1;
+        *n
+    }
+
     /// Reads a register.
     ///
     /// # Panics
@@ -201,6 +210,7 @@ impl Warp {
                 seq: 0,
                 fence_counter: 0,
                 ol_numbers: [0; 16],
+                release_versions: [0; 16],
             },
             cur: None,
             state: WarpState::Ready,
@@ -283,6 +293,12 @@ impl Warp {
     /// per-channel, per-memory-group packet number).
     pub fn next_ol_number(&mut self, group: MemGroupId) -> u32 {
         self.core.next_ol_number(group)
+    }
+
+    /// Next Louvre release version for `group` (per-warp, per-group
+    /// version counter stamped into release markers).
+    pub fn next_release_version(&mut self, group: MemGroupId) -> u32 {
+        self.core.next_release_version(group)
     }
 
     /// Whether `reg` has an outstanding load.

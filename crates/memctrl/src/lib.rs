@@ -1,4 +1,4 @@
-//! # Memory controller with memory-centric ordering (paper Section 5.3.2)
+//! # Memory controller with pluggable memory-ordering backends
 //!
 //! The controller owns one HBM [`orderlight_hbm::Channel`] and its
 //! (representative) [`orderlight_pim::PimUnit`]. Requests arrive from the
@@ -6,18 +6,34 @@
 //! 64 entries each); an FR-FCFS scheduler dequeues them into per-bank
 //! command queues and issues DRAM commands subject to timing.
 //!
-//! Two ordering mechanisms are implemented:
+//! Ordering is enforced by a pluggable [`ordering::OrderingBackend`]
+//! selected via [`McConfig::ordering`]. Five backends are implemented
+//! (see [`ordering::OrderingKind`]):
 //!
-//! * **OrderLight** — an in-band packet is copied into both transaction
-//!   queues ([`orderlight::fsm::diverge`]), merged at the scheduler stage,
-//!   and then enforced with a per-memory-group *(flag, in-flight counter)*
-//!   pair: requests behind the packet are not scheduled until every
-//!   request ahead of it has been issued to the DRAM. Requests of other
-//!   memory groups are never constrained.
-//! * **Fence acknowledgement** — the baseline core-centric fence. A fence
+//! * **OrderLight** (paper Section 5.3.2) — an in-band packet is copied
+//!   into both transaction queues ([`orderlight::fsm::diverge`]), merged
+//!   at the scheduler stage, and then enforced with a per-memory-group
+//!   *(flag, in-flight counter)* pair: requests behind the packet are not
+//!   scheduled until every request ahead of it has been issued to the
+//!   DRAM. Requests of other memory groups are never constrained.
+//! * **Fence** (paper Section 6 baseline) — the core-centric fence. A
 //!   probe arriving at the controller is acknowledged once every prior
 //!   request from the fencing warp has been issued to the DRAM; the warp
 //!   stalls until the ack reaches it back up the pipe.
+//! * **SeqNum** (Kim et al., paper reference 27) — per-warp PIM requests
+//!   are dequeued and issued strictly in sequence-number order and a
+//!   buffer credit returns to the core per retired request.
+//! * **LouvreVersioned** (Kumar et al.) — in-band release markers carry
+//!   per-group versions; a merged release is *held* at the scheduler
+//!   until every older request of its group has issued. No per-group
+//!   flag is broadcast.
+//! * **BulkBitwiseStrong** (Perach et al.) — controller-enforced strong
+//!   consistency: the core emits no ordering primitive at all and the
+//!   controller serializes each memory group in arrival order, with
+//!   epoch barriers at read/write flips recorded for the oracle.
+//!
+//! Every backend also services fence probes, so probe traffic remains
+//! answerable regardless of the selected primitive.
 
 pub mod mc;
 pub mod ordering;
@@ -25,6 +41,9 @@ pub mod queues;
 pub mod txn;
 
 pub use mc::{IssueRecord, McConfig, McStats, MemoryController, PagePolicy};
-pub use ordering::{FenceTracker, GroupOrdering};
+pub use ordering::{
+    BackendStats, FenceTracker, GroupOrdering, MarkerAction, OrderingBackend, OrderingKind,
+    RetireOutcome,
+};
 pub use queues::{QueueEntry, TransQueue};
 pub use txn::Transaction;

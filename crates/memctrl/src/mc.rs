@@ -1,12 +1,13 @@
 //! The memory controller proper: ingress, FR-FCFS scheduler, per-bank
 //! command queues, DRAM command issue, and the PIM unit hookup.
 
-use crate::ordering::{FenceTracker, GroupOrdering};
+use crate::ordering::{MarkerAction, OrderingBackend, OrderingKind};
 use crate::queues::{PendingReq, QueueEntry, TransQueue};
 use crate::txn::{Transaction, TxnKind};
 use orderlight::fsm::diverge;
 use orderlight::mapping::{AddressMapping, GroupMap};
-use orderlight::message::{Marker, MemReq, MemResp};
+use orderlight::message::{Marker, MarkerKey, MemReq, MemResp};
+use orderlight::packet::OrderLightPacket;
 use orderlight::rng::Rng;
 use orderlight::slab::Slab;
 use orderlight::types::{BankId, MemCycle, MemGroupId};
@@ -74,12 +75,11 @@ pub struct McConfig {
     /// Record every issued command in an [`IssueRecord`] trace
     /// (diagnostics / visualisation; off by default).
     pub trace: bool,
-    /// Sequence-number ordering (the Kim et al. (paper reference 27) baseline): each
-    /// warp's PIM requests are dequeued *and issued* strictly in
-    /// sequence-number order, and a buffer credit is returned to the
-    /// core per retired request. Off by default (OrderLight/fence modes
-    /// need no per-request ordering).
-    pub seq_order: bool,
+    /// Which [`OrderingBackend`] this controller enforces (default:
+    /// OrderLight group barriers). Every backend also services fence
+    /// probes, so the choice only matters for traffic that actually
+    /// exercises the ordering primitive.
+    pub ordering: OrderingKind,
     /// Row-buffer management policy.
     pub page_policy: PagePolicy,
 }
@@ -97,7 +97,7 @@ impl Default for McConfig {
             write_drain_high: 0.75,
             write_drain_low: 0.25,
             trace: false,
-            seq_order: false,
+            ordering: OrderingKind::OrderLight,
             page_policy: PagePolicy::Open,
         }
     }
@@ -207,8 +207,7 @@ pub struct MemoryController {
     /// scan over every bank's queue.
     bank_queued: usize,
     exec_q: VecDeque<Transaction>,
-    ordering: GroupOrdering,
-    fences: FenceTracker,
+    backend: Box<dyn OrderingBackend>,
     arrival_seq: u64,
     arrival_cycle: MemCycle,
     draining_writes: bool,
@@ -217,10 +216,6 @@ pub struct MemoryController {
     trace: Vec<IssueRecord>,
     sink: SharedSink,
     channel_id: u8,
-    /// Next sequence number each warp may dequeue (seq_order mode).
-    expected_dequeue: std::collections::HashMap<orderlight::types::GlobalWarpId, u64>,
-    /// Next sequence number each warp may issue (seq_order mode).
-    expected_issue: std::collections::HashMap<orderlight::types::GlobalWarpId, u64>,
     /// Fault injection: adversarial scheduler tie-breaks. When set, the
     /// FR-FCFS pick chooses uniformly among *eligible* candidates
     /// instead of preferring row hits / oldest arrivals — a legal but
@@ -240,8 +235,7 @@ impl MemoryController {
             bank_q: (0..banks).map(|_| VecDeque::new()).collect(),
             bank_queued: 0,
             exec_q: VecDeque::new(),
-            ordering: GroupOrdering::new(),
-            fences: FenceTracker::new(),
+            backend: cfg.ordering.build(),
             arrival_seq: 0,
             arrival_cycle: 0,
             draining_writes: false,
@@ -250,8 +244,6 @@ impl MemoryController {
             trace: Vec::new(),
             sink: nop_sink(),
             channel_id: 0,
-            expected_dequeue: std::collections::HashMap::new(),
-            expected_issue: std::collections::HashMap::new(),
             adversary: None,
             cfg,
             channel,
@@ -270,15 +262,15 @@ impl MemoryController {
     }
 
     /// Activates the drop-one-ordering-edge mutation for `group` (see
-    /// [`GroupOrdering::set_elide_group`]).
+    /// [`OrderingBackend::set_elide_group`]).
     pub fn set_elide_group(&mut self, group: MemGroupId) {
-        self.ordering.set_elide_group(group);
+        self.backend.set_elide_group(group);
     }
 
     /// Ordering edges dropped by the elide mutation so far.
     #[must_use]
     pub fn ordering_edges_dropped(&self) -> u64 {
-        self.ordering.edges_dropped()
+        self.backend.edges_dropped()
     }
 
     /// The issue trace (empty unless [`McConfig::trace`] is set).
@@ -315,8 +307,10 @@ impl MemoryController {
     pub fn can_accept(&self, req: &MemReq) -> bool {
         match req {
             MemReq::Marker(copy) => match copy.marker {
-                // OrderLight packets are copied into both queues.
-                Marker::OrderLight(_) => self.read_q.has_space() && self.write_q.has_space(),
+                // In-band ordering markers are copied into both queues.
+                Marker::OrderLight(_) | Marker::Release(_) => {
+                    self.read_q.has_space() && self.write_q.has_space()
+                }
                 // Fence probes are consumed at ingress.
                 Marker::FenceProbe { .. } => true,
             },
@@ -333,7 +327,7 @@ impl MemoryController {
         assert!(self.can_accept(&req), "push without backpressure check");
         match req {
             MemReq::Marker(copy) => match copy.marker {
-                Marker::OrderLight(ref packet) => {
+                Marker::OrderLight(ref packet) | Marker::Release(ref packet) => {
                     if self.sink.is_enabled() {
                         self.sink.emit(TraceEvent::PacketEnqueued {
                             cycle: self.arrival_cycle,
@@ -342,7 +336,10 @@ impl MemoryController {
                             number: packet.number(),
                         });
                     }
-                    // Divergence point #2: separate read/write queues.
+                    // Ingress hook first (e.g. Louvre snapshots its drain
+                    // targets here, matching the oracle's pre-set), then
+                    // divergence point #2: separate read/write queues.
+                    self.backend.on_marker_ingress(&copy);
                     let mut copies = diverge(copy.marker, 2);
                     self.write_q.push(QueueEntry::Marker {
                         copy: copies.pop().expect("two copies"),
@@ -354,7 +351,7 @@ impl MemoryController {
                     });
                 }
                 Marker::FenceProbe { warp, fence_id, .. } => {
-                    if self.fences.on_probe(warp, fence_id) {
+                    if self.backend.on_probe(warp, fence_id) {
                         self.stats.fence_acks += 1;
                         self.out.push(MemResp::FenceAck { warp, fence_id });
                         if self.sink.is_enabled() {
@@ -370,7 +367,6 @@ impl MemoryController {
             },
             req => {
                 let meta = req.meta().expect("non-marker requests carry metadata");
-                self.fences.on_arrival(meta.warp);
                 let (loc, group) = match &req {
                     MemReq::Pim { instr, .. } => {
                         let loc =
@@ -384,6 +380,22 @@ impl MemoryController {
                     MemReq::Marker(_) => unreachable!("handled above"),
                 };
                 self.arrival_seq += 1;
+                let pim = req.is_pim();
+                let write_like = req.is_write_like();
+                // A controller-enforced backend may raise a synthetic
+                // barrier here (e.g. a bulk-bitwise epoch flip). It is
+                // recorded *before* this request's own enqueue event so
+                // the oracle's pre-set covers exactly the older requests.
+                if let Some(number) = self.backend.on_arrival(meta, group, pim, write_like) {
+                    if self.sink.is_enabled() {
+                        self.sink.emit(TraceEvent::PacketEnqueued {
+                            cycle: self.arrival_cycle,
+                            channel: self.channel_id,
+                            group: group.0,
+                            number,
+                        });
+                    }
+                }
                 if self.sink.is_enabled() {
                     self.sink.emit(TraceEvent::ReqEnqueued {
                         cycle: self.arrival_cycle,
@@ -393,8 +405,6 @@ impl MemoryController {
                         seq: meta.seq,
                     });
                 }
-                let pim = req.is_pim();
-                let write_like = req.is_write_like();
                 let entry = QueueEntry::Request(PendingReq {
                     req: self.arena.insert(req),
                     pim,
@@ -462,16 +472,14 @@ impl MemoryController {
             let mut row_hit = None;
             let mut candidates: Vec<usize> = Vec::new();
             let q = self.queue(side);
-            let elide = self.ordering.elide_group();
-            for (i, p) in q.eligible(|g| self.ordering.is_blocked(g), elide, self.cfg.scan_depth) {
+            let elide = self.backend.elide_group();
+            for (i, p) in q.eligible(|g| self.backend.group_blocked(g), elide, self.cfg.scan_depth)
+            {
                 if !self.txn_fits(p) {
                     continue;
                 }
-                if self.cfg.seq_order && p.pim {
-                    let expected = self.expected_dequeue.get(&p.meta.warp).copied().unwrap_or(1);
-                    if p.meta.seq != expected {
-                        continue;
-                    }
+                if !self.backend.dequeue_allowed(p) {
+                    continue;
                 }
                 if first_fit.is_none() {
                     first_fit = Some(i);
@@ -497,14 +505,37 @@ impl MemoryController {
         None
     }
 
-    /// Offers ready OrderLight marker copies to the convergence FSM.
+    /// Completes a marker merge: records the [`TraceEvent::PacketMerged`]
+    /// event and pops the marker's copies from both transaction queues.
+    fn finish_merge(&mut self, key: &MarkerKey, packet: &OrderLightPacket) {
+        if self.sink.is_enabled() {
+            self.sink.emit(TraceEvent::PacketMerged {
+                cycle: self.arrival_cycle,
+                channel: self.channel_id,
+                group: packet.group().0,
+                number: packet.number(),
+            });
+        }
+        for side in [Side::Read, Side::Write] {
+            let popped = self.queue_mut(side).pop_marker_by_key(key);
+            debug_assert!(popped, "merged copy must head each queue");
+        }
+    }
+
+    /// Offers ready marker copies to the backend's convergence FSM.
     ///
     /// A copy is *offered* as soon as no constrained request remains
     /// ahead of it in its own queue, but it stays in place — still
     /// blocking its sub-path — until every sibling copy has been offered
     /// and the merge fires (paper Figure 9); only then are all copies
-    /// removed.
+    /// removed. A backend may instead *hold* a fully-collected marker
+    /// (Louvre's versioned release): its copies stay queued, still
+    /// blocking, until [`OrderingBackend::take_released`] reports the
+    /// drain condition met.
     fn consume_markers(&mut self) {
+        for (key, packet) in self.backend.take_released() {
+            self.finish_merge(&key, &packet);
+        }
         loop {
             let mut progress = false;
             for side in [Side::Read, Side::Write] {
@@ -513,28 +544,17 @@ impl MemoryController {
                 };
                 self.queue_mut(side).mark_first_marker_offered();
                 progress = true;
-                if let Some(packet) = self.ordering.on_marker_copy(&copy) {
-                    self.stats.ol_packets += 1;
-                    if self.sink.is_enabled() {
-                        self.sink.emit(TraceEvent::PacketMerged {
-                            cycle: self.arrival_cycle,
-                            channel: self.channel_id,
-                            group: packet.group().0,
-                            number: packet.number(),
-                        });
+                match self.backend.on_marker(&copy) {
+                    MarkerAction::Merged(packet) => {
+                        self.finish_merge(&copy.marker.key(), &packet);
                     }
-                    let key = copy.marker.key();
-                    for s2 in [Side::Read, Side::Write] {
-                        let popped = self.queue_mut(s2).pop_marker_by_key(&key);
-                        debug_assert!(popped, "merged copy must head each queue");
-                    }
+                    MarkerAction::Pending | MarkerAction::Held => {}
                 }
             }
             if !progress {
                 break;
             }
         }
-        self.stats.sanity_violations = self.ordering.sanity_violations();
     }
 
     /// Moves eligible transactions from the R/W queues into the per-bank
@@ -561,10 +581,7 @@ impl MemoryController {
                     row_hit: self.is_row_hit(&p),
                 });
             }
-            if self.cfg.seq_order && p.pim {
-                self.expected_dequeue.insert(p.meta.warp, p.meta.seq + 1);
-            }
-            self.ordering.on_dequeue(p.group);
+            self.backend.on_dequeue(&p);
             let meta = p.meta;
             if self.sink.is_enabled() {
                 self.sink.emit(TraceEvent::ReqDequeued {
@@ -667,7 +684,7 @@ impl MemoryController {
                 self.stats.col_writes += 1;
             }
         }
-        self.ordering.on_issue(txn.group);
+        let outcome = self.backend.on_retire(&txn);
         if self.sink.is_enabled() {
             self.sink.emit(TraceEvent::ReqIssued {
                 cycle: now,
@@ -677,12 +694,11 @@ impl MemoryController {
                 seq: txn.meta.seq,
             });
         }
-        if self.cfg.seq_order && txn.is_pim() {
-            self.expected_issue.insert(txn.meta.warp, txn.meta.seq + 1);
+        if outcome.credit {
             // Return the buffer credit to the core (Kim et al. style).
             self.out.push(MemResp::Credit { warp: txn.meta.warp });
         }
-        for (warp, fence_id) in self.fences.on_issue(txn.meta.warp) {
+        for (warp, fence_id) in outcome.fence_acks {
             self.stats.fence_acks += 1;
             self.out.push(MemResp::FenceAck { warp, fence_id });
             if self.sink.is_enabled() {
@@ -697,15 +713,6 @@ impl MemoryController {
         self.stats.last_issue_cycle = now;
     }
 
-    /// Whether `txn` may issue under sequence-number ordering.
-    fn seq_issue_ok(&self, txn: &Transaction) -> bool {
-        if !self.cfg.seq_order || !txn.is_pim() {
-            return true;
-        }
-        let expected = self.expected_issue.get(&txn.meta.warp).copied().unwrap_or(1);
-        txn.meta.seq == expected
-    }
-
     /// Oldest bank whose head transaction can issue `needed` right now.
     /// With an adversary attached, a uniform pick among all such banks
     /// replaces the oldest-arrival preference.
@@ -716,7 +723,7 @@ impl MemoryController {
         for (b, q) in self.bank_q.iter().enumerate() {
             let Some(head) = q.front() else { continue };
             let bank = BankId(b as u8);
-            if needed == NeededCommand::Column && !self.seq_issue_ok(head) {
+            if needed == NeededCommand::Column && !self.backend.issue_allowed(head) {
                 continue;
             }
             if self.channel.needed_command(bank, head.loc.row) != needed {
@@ -763,7 +770,7 @@ impl MemoryController {
             self.complete(txn, now);
             return;
         }
-        if self.exec_q.front().is_some_and(|head| self.seq_issue_ok(head)) {
+        if self.exec_q.front().is_some_and(|head| self.backend.issue_allowed(head)) {
             let txn = self.exec_q.pop_front().expect("peeked head");
             self.complete(txn, now);
             return;
@@ -890,8 +897,7 @@ impl MemoryController {
             && self.read_q.is_empty()
             && self.write_q.is_empty()
             && self.exec_q.is_empty()
-            && self.fences.pending() == 0
-            && self.ordering.is_idle()
+            && self.backend.is_idle()
             && self.out.is_empty()
     }
 
@@ -899,7 +905,9 @@ impl MemoryController {
     #[must_use]
     pub fn stats(&self) -> McStats {
         let mut s = self.stats;
-        s.ol_packets = self.ordering.packets_merged();
+        let b = self.backend.stats();
+        s.ol_packets = b.packets_merged;
+        s.sanity_violations = b.sanity_violations;
         s
     }
 

@@ -14,14 +14,15 @@ use std::collections::VecDeque;
 
 /// Whether a marker constrains requests of memory group `group`.
 ///
-/// OrderLight packets constrain exactly the groups they name; fence
-/// probes constrain nothing at the scheduler (the baseline fence does
-/// *not* stop the controller from reordering — that insufficiency is one
-/// of the paper's motivations; probes only generate acknowledgements).
+/// OrderLight packets and Louvre release markers constrain exactly the
+/// groups they name; fence probes constrain nothing at the scheduler
+/// (the baseline fence does *not* stop the controller from reordering —
+/// that insufficiency is one of the paper's motivations; probes only
+/// generate acknowledgements).
 #[must_use]
 pub fn marker_constrains(copy: &MarkerCopy, group: MemGroupId) -> bool {
     match &copy.marker {
-        Marker::OrderLight(p) => p.groups().any(|g| g == group),
+        Marker::OrderLight(p) | Marker::Release(p) => p.groups().any(|g| g == group),
         Marker::FenceProbe { .. } => false,
     }
 }

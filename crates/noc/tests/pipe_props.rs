@@ -83,7 +83,7 @@ fn pipe_ordering_contract() {
             match r {
                 MemReq::Pim { meta, .. } => meta.seq as usize,
                 MemReq::Marker(c) => match &c.marker {
-                    Marker::OrderLight(p) => p.number() as usize,
+                    Marker::OrderLight(p) | Marker::Release(p) => p.number() as usize,
                     Marker::FenceProbe { .. } => unreachable!(),
                 },
                 _ => unreachable!(),

@@ -78,7 +78,10 @@ pub fn profile_scenario_with(
     };
     sys.attach_sink(sink);
     let stats = sys.run_with(scenario.budget(), scenario.core())?;
-    let report = profiler.report();
+    let mut report = profiler.report();
+    // Tag the attribution with the backend that produced it: the same
+    // stall cause reads differently under different ordering machinery.
+    report.ordering = scenario.experiment().mode.ordering_backend().to_string();
     let conservation = report.verify(&stats);
     Ok(ProfileOutcome { stats, report, conservation, clocks })
 }

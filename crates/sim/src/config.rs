@@ -157,6 +157,28 @@ pub enum ExecMode {
     Pim(OrderingMode),
 }
 
+impl ExecMode {
+    /// The memory-controller ordering backend this mode selects — the
+    /// single mapping from kernel-level ordering choice to controller
+    /// machinery. GPU runs and unordered PIM runs still host the
+    /// [`orderlight_memctrl::OrderingKind::Fence`] backend: it is inert
+    /// without probes, and keeps the fence path serviceable everywhere.
+    #[must_use]
+    pub fn ordering_backend(self) -> orderlight_memctrl::OrderingKind {
+        use orderlight_memctrl::OrderingKind;
+        match self {
+            ExecMode::Gpu => OrderingKind::Fence,
+            ExecMode::Pim(mode) => match mode {
+                OrderingMode::None | OrderingMode::Fence => OrderingKind::Fence,
+                OrderingMode::OrderLight => OrderingKind::OrderLight,
+                OrderingMode::SeqNum => OrderingKind::SeqNum,
+                OrderingMode::LouvreVersioned => OrderingKind::LouvreVersioned,
+                OrderingMode::BulkBitwiseStrong => OrderingKind::BulkBitwiseStrong,
+            },
+        }
+    }
+}
+
 impl std::fmt::Display for ExecMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

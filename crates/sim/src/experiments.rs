@@ -31,6 +31,11 @@ pub struct SweepPoint {
     pub ts: String,
     /// Execution mode label ("gpu", "pim-fence", "pim-orderlight", …).
     pub mode: String,
+    /// Controller ordering-backend label ("orderlight", "fence",
+    /// "seqnum", "louvre", "bulk") — lets figures be re-cut per
+    /// backend even where `mode` aliases (GPU and unordered PIM both
+    /// host the fence backend).
+    pub ordering: String,
     /// Bandwidth multiplication factor.
     pub bmf: u32,
     /// Measured statistics.
@@ -171,6 +176,7 @@ impl JobSpec {
                 ExecMode::Pim(_) => self.ts.to_string(),
             },
             mode: self.mode.to_string(),
+            ordering: self.mode.ordering_backend().to_string(),
             bmf: self.bmf,
             stats,
         })

@@ -169,6 +169,9 @@ impl System {
             matches!(exp.mode, ExecMode::Pim(orderlight_workloads::OrderingMode::SeqNum));
         let sm_cfg =
             orderlight_gpu::SmConfig { credits: seq_mode.then_some(exp.seq_credits), ..sys.sm };
+        // Map the workload's ordering mode onto the controller backend
+        // (see [`ExecMode::ordering_backend`] for the full table).
+        let ordering = exp.mode.ordering_backend();
 
         // Warp w drives channel w % channels (slice w / channels when
         // several warps cooperate per channel), packed across the SMs.
@@ -206,7 +209,7 @@ impl System {
             let mc_cfg = McConfig {
                 mapping: sys.mapping.clone(),
                 groups: sys.groups.clone(),
-                seq_order: seq_mode || sys.mc.seq_order,
+                ordering,
                 ..sys.mc.clone()
             };
             let mut mc = MemoryController::new(mc_cfg, channel, pim);

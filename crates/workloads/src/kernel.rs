@@ -30,6 +30,14 @@ pub enum OrderingMode {
     /// dequeues each warp's requests strictly in sequence order, and the
     /// core may only issue while it holds buffer credits.
     SeqNum,
+    /// Louvre-style versioned releases (Kumar et al.): a release marker
+    /// stamped with the warp's per-group version is injected between
+    /// phases; the controller holds it until older requests drain.
+    LouvreVersioned,
+    /// Perach-style controller-enforced strong consistency for
+    /// bulk-bitwise PIM: no ordering instructions at all — the controller
+    /// serializes each memory group in arrival order.
+    BulkBitwiseStrong,
 }
 
 impl std::fmt::Display for OrderingMode {
@@ -39,6 +47,8 @@ impl std::fmt::Display for OrderingMode {
             OrderingMode::Fence => write!(f, "fence"),
             OrderingMode::OrderLight => write!(f, "orderlight"),
             OrderingMode::SeqNum => write!(f, "seqnum"),
+            OrderingMode::LouvreVersioned => write!(f, "louvre"),
+            OrderingMode::BulkBitwiseStrong => write!(f, "bulk"),
         }
     }
 }
@@ -351,12 +361,19 @@ impl PimKernelGen {
 
     fn push_ordering(&mut self) {
         match self.mode {
-            OrderingMode::None | OrderingMode::SeqNum => {}
+            // SeqNum and BulkBitwiseStrong enforce entirely at the
+            // controller: the kernel carries no ordering instructions.
+            OrderingMode::None | OrderingMode::SeqNum | OrderingMode::BulkBitwiseStrong => {}
             OrderingMode::Fence => {
                 self.buf.push_back(KernelInstr::Ordering(OrderingInstr::Fence));
             }
             OrderingMode::OrderLight => {
                 self.buf.push_back(KernelInstr::Ordering(OrderingInstr::OrderLight {
+                    group: self.layout.group(),
+                }));
+            }
+            OrderingMode::LouvreVersioned => {
+                self.buf.push_back(KernelInstr::Ordering(OrderingInstr::Release {
                     group: self.layout.group(),
                 }));
             }

@@ -1,13 +1,14 @@
 //! `orderlight` — command-line driver for the simulator.
 //!
 //! ```text
-//! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight]
+//! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]
 //!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
 //! orderlight check [run flags] [--faults none|noc|sched|storm|all]
 //!                  [--seed N] [--mutate CH:G]
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
+//! orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]
 //! orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]
 //! orderlight bench --compare A.json B.json [--threshold PCT]
 //! orderlight list
@@ -63,6 +64,13 @@
 //! command then succeeds only if the oracle fires (the CI mutation
 //! gate).
 //!
+//! `compare-ordering` runs the same workload under every memory
+//! controller ordering backend (fence, orderlight, seqnum, louvre,
+//! bulk) with the happens-before oracle attached and records speedup
+//! over the fence baseline, violation-freedom, and in-band ordering
+//! metadata cost per backend into a `bench-sweep/v5` JSON document.
+//! It exits non-zero if any backend's run was not violation-free.
+//!
 //! `bench` times the same sweep serially and in parallel, verifies the
 //! two result sets are bit-identical, prints wall-clock/points-per-sec/
 //! speedup, and writes a machine-readable `BENCH_sweep.json` so the
@@ -80,7 +88,7 @@
 //! past `--threshold` percent (default 20). Exits non-zero on any
 //! parallel/serial or cycle/event mismatch.
 
-use orderlight_suite::check::check_scenario;
+use orderlight_suite::check::{check_scenario, compare_backends, BackendRecord};
 use orderlight_suite::core::fault::{DropEdge, FaultPlan, NocJitter, RefreshStorm};
 use orderlight_suite::pim::TsSize;
 use orderlight_suite::profile::{profile_points, profile_scenario_with};
@@ -105,7 +113,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile honour it too — skip boundaries synthesize the events)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile honour it too — skip boundaries synthesize the events)"
     );
     ExitCode::from(2)
 }
@@ -121,6 +129,8 @@ fn parse_mode(name: &str) -> Option<ExecMode> {
         "fence" => Some(ExecMode::Pim(OrderingMode::Fence)),
         "orderlight" | "ol" => Some(ExecMode::Pim(OrderingMode::OrderLight)),
         "seqnum" => Some(ExecMode::Pim(OrderingMode::SeqNum)),
+        "louvre" => Some(ExecMode::Pim(OrderingMode::LouvreVersioned)),
+        "bulk" => Some(ExecMode::Pim(OrderingMode::BulkBitwiseStrong)),
         _ => None,
     }
 }
@@ -401,9 +411,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
         println!("  ... and {} more violation(s)", outcome.report.violations.len() - SHOWN);
     }
     if mutate.is_some() {
-        // Mutation self-test: success means the oracle *fired* on the
-        // deliberately broken schedule.
-        if outcome.edges_dropped > 0 && !outcome.report.is_clean() {
+        // Mutation self-test: success means the check *fired* on the
+        // deliberately broken schedule — via an oracle edge, a backend
+        // sanity violation, or corrupted DRAM bytes, depending on where
+        // the selected backend's elided edge surfaces.
+        if outcome.edges_dropped > 0 && !outcome.is_clean() {
             println!("  mutation gate         : PASS (oracle fired on the elided edge)");
             ExitCode::SUCCESS
         } else {
@@ -810,16 +822,17 @@ fn cmd_profile_verify(paths: &[String]) -> ExitCode {
 
 /// The CSV schema shared by `orderlight sweep` and the `sweep_csv`
 /// bench binary.
-const SWEEP_CSV_HEADER: &str = "figure,workload,ts,mode,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified";
+const SWEEP_CSV_HEADER: &str = "figure,workload,ts,mode,ordering,bmf,exec_ms,cmd_gcs,data_gbs,stall_cycles,stall_fence,stall_ol,stall_reg,stall_structural,stall_credit,primitives,prim_per_instr,verified";
 
 fn emit_sweep_csv(figure: &str, rows: &[SweepPoint]) {
     for p in rows {
         let s = &p.stats;
         println!(
-            "{figure},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
+            "{figure},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{:.6},{}",
             p.workload,
             p.ts.replace(' ', ""),
             p.mode,
+            p.ordering,
             p.bmf,
             s.exec_time_ms,
             s.command_bandwidth_gcs,
@@ -912,6 +925,127 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Serialises one backend's comparison record as a JSON object — the
+/// per-backend speedup/violation/metadata-cost rows of the
+/// `bench-sweep/v5` schema.
+fn ordering_record_json(r: &BackendRecord) -> String {
+    format!(
+        "{{\"ordering\": \"{}\", \"core_cycles\": {}, \"exec_time_ms\": {:.6}, \"speedup_vs_fence\": {:.3}, \"clean\": {}, \"violations\": {}, \"sanity_violations\": {}, \"packets\": {}, \"fence_acks\": {}, \"credits\": {}, \"metadata_bits\": {}}}",
+        r.ordering,
+        r.core_cycles,
+        r.exec_time_ms,
+        r.speedup_vs_fence,
+        r.clean,
+        r.violations,
+        r.sanity_violations,
+        r.packets,
+        r.fence_acks,
+        r.credits,
+        r.metadata_bits,
+    )
+}
+
+/// Runs the cross-primitive ordering comparison and prints the
+/// per-backend table. Returns the records, or an exit code on failure.
+fn run_ordering_comparison(
+    workload: WorkloadId,
+    data_kb: u64,
+    core: SimCore,
+) -> Result<Vec<BackendRecord>, ExitCode> {
+    println!(
+        "comparing ordering backends on {workload} at {data_kb} KiB/structure/channel (core: {}):",
+        core.as_str()
+    );
+    let records = compare_backends(workload, data_kb, core).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    println!(
+        "  {:<12} {:>12} {:>10} {:>8} {:>9} {:>10} {:>8} {:>13}  verdict",
+        "backend", "cycles", "ms", "speedup", "packets", "fence_acks", "credits", "metadata_bits"
+    );
+    for r in &records {
+        println!(
+            "  {:<12} {:>12} {:>10.4} {:>7.2}x {:>9} {:>10} {:>8} {:>13}  {}",
+            r.ordering.to_string(),
+            r.core_cycles,
+            r.exec_time_ms,
+            r.speedup_vs_fence,
+            r.packets,
+            r.fence_acks,
+            r.credits,
+            r.metadata_bits,
+            if r.clean {
+                "clean".to_string()
+            } else {
+                format!("DIRTY ({} violations, {} sanity)", r.violations, r.sanity_violations)
+            },
+        );
+    }
+    Ok(records)
+}
+
+/// `orderlight compare-ordering`: the cross-primitive comparison as a
+/// first-class subcommand. Runs every ordering backend over the same
+/// workload with the happens-before oracle attached and writes the
+/// per-backend records as a `bench-sweep/v5` document. Exits non-zero
+/// if any backend's run was not violation-free — a comparison between
+/// a correct backend and a broken one is not a comparison.
+fn cmd_compare_ordering(args: &[String], core: SimCore) -> ExitCode {
+    let mut workload = WorkloadId::Add;
+    let mut data_kb = env_data_kb(8);
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--workload" | "-w" => match parse_workload(value) {
+                Some(w) => {
+                    workload = w;
+                    true
+                }
+                None => false,
+            },
+            "--data-kb" => value.parse().map(|v| data_kb = v).is_ok(),
+            "--out" | "-o" => {
+                out.clone_from(value);
+                true
+            }
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("invalid value '{value}' for {flag}");
+            return usage();
+        }
+    }
+    let records = match run_ordering_comparison(workload, data_kb, core) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let rows = records.iter().map(ordering_record_json).collect::<Vec<_>>().join(",\n    ");
+    let json = format!(
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v5\",\n  \"workload\": \"{workload}\",\n  \"data_kb\": {data_kb},\n  \"core\": \"{}\",\n  \"ordering\": [\n    {rows}\n  ]\n}}\n",
+        core.as_str(),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if records.iter().all(|r| r.clean) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("comparison includes a dirty backend — see the table above");
+        ExitCode::FAILURE
+    }
 }
 
 /// One figure's cycle-core-vs-event-core serial timing.
@@ -1121,11 +1255,12 @@ fn bench_json(
     identical: bool,
     cores_identical: bool,
     profile_json: &str,
+    ordering_json: &str,
 ) -> String {
     let rate = |secs: f64| if secs > 0.0 { points as f64 / secs } else { 0.0 };
     let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
     format!(
-        "{{\n  \"schema\": \"orderlight/bench-sweep/v4\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"point_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical},\n  \"profile\": {profile_json}\n}}\n",
+        "{{\n  \"schema\": \"orderlight/bench-sweep/v5\",\n  \"quick\": {quick},\n  \"data_kb\": {data_kb},\n  \"jobs\": {jobs},\n  \"core\": \"{core}\",\n  \"available_parallelism\": {avail},\n  \"figures\": [{figs_json}],\n  \"points\": {points},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"serial_points_per_sec\": {sr:.3},\n  \"parallel_points_per_sec\": {pr:.3},\n  \"point_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical},\n  \"cores_identical\": {cores_identical},\n  \"profile\": {profile_json},\n  \"ordering\": [\n    {ordering_json}\n  ]\n}}\n",
         p50 = latency_us.0,
         p95 = latency_us.1,
         p99 = latency_us.2,
@@ -1469,6 +1604,21 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         "null".to_string()
     };
 
+    // Cross-primitive ordering comparison: one checked run per backend
+    // at the bench job size, recorded per backend in the JSON so the
+    // speedup/violation/metadata trajectory is versioned alongside the
+    // timing trajectory.
+    let ordering_records = match run_ordering_comparison(WorkloadId::Add, data_kb, core) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let ordering_clean = ordering_records.iter().all(|r| r.clean);
+    if !ordering_clean {
+        eprintln!("  results : ORDERING COMPARISON DIRTY — a backend failed its checked run");
+    }
+    let ordering_json =
+        ordering_records.iter().map(ordering_record_json).collect::<Vec<_>>().join(",\n    ");
+
     let figs_json = fig_benches.iter().map(CoreBench::json).collect::<Vec<_>>().join(", ");
     let json = bench_json(
         quick,
@@ -1483,13 +1633,14 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
         identical,
         cores_identical,
         &profile_json,
+        &ordering_json,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
-    if identical && cores_identical && profile_conserved {
+    if identical && cores_identical && profile_conserved && ordering_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -1515,6 +1666,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("profile-verify") => cmd_profile_verify(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("compare-ordering") => cmd_compare_ordering(&args[1..], core),
         Some("bench") => cmd_bench(&args[1..], core),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),

@@ -112,8 +112,14 @@ fn fuzz_cases(n: usize) -> Vec<FuzzCase> {
         WorkloadId::Copy,
         WorkloadId::Triad,
     ];
-    const MODES: [OrderingMode; 4] =
-        [OrderingMode::OrderLight, OrderingMode::Fence, OrderingMode::SeqNum, OrderingMode::None];
+    const MODES: [OrderingMode; 6] = [
+        OrderingMode::OrderLight,
+        OrderingMode::Fence,
+        OrderingMode::SeqNum,
+        OrderingMode::LouvreVersioned,
+        OrderingMode::BulkBitwiseStrong,
+        OrderingMode::None,
+    ];
     const TS: [TsSize; 4] = [TsSize::Sixteenth, TsSize::Eighth, TsSize::Quarter, TsSize::Half];
     const BMF: [u32; 3] = [4, 8, 16];
     const DATA: [u64; 3] = [2 * 1024, 4 * 1024, 8 * 1024];
@@ -283,4 +289,6 @@ fn small_cases_are_a_prefix_of_the_full_stream() {
     assert!(full.iter().any(|c| c.faults) && full.iter().any(|c| !c.faults));
     assert!(full.iter().any(|c| c.mode == OrderingMode::Fence));
     assert!(full.iter().any(|c| c.mode == OrderingMode::OrderLight));
+    assert!(full.iter().any(|c| c.mode == OrderingMode::LouvreVersioned));
+    assert!(full.iter().any(|c| c.mode == OrderingMode::BulkBitwiseStrong));
 }

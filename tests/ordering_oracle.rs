@@ -43,9 +43,21 @@ fn clean_matrix() -> Vec<ExecMode> {
         ExecMode::Pim(OrderingMode::Fence),
         ExecMode::Pim(OrderingMode::OrderLight),
         ExecMode::Pim(OrderingMode::SeqNum),
+        ExecMode::Pim(OrderingMode::LouvreVersioned),
+        ExecMode::Pim(OrderingMode::BulkBitwiseStrong),
         ExecMode::Gpu,
     ]
 }
+
+/// Every ordering backend the memory controller can host, for the
+/// per-backend mutation gate.
+const BACKENDS: [OrderingMode; 5] = [
+    OrderingMode::OrderLight,
+    OrderingMode::Fence,
+    OrderingMode::SeqNum,
+    OrderingMode::LouvreVersioned,
+    OrderingMode::BulkBitwiseStrong,
+];
 
 #[test]
 fn oracle_is_silent_on_clean_scenarios_under_both_cores() {
@@ -101,6 +113,46 @@ fn mutant_fires_the_oracle_and_corrupts_dram() {
             "core {core:?}: the elided edge must corrupt DRAM bytes: {}",
             outcome.summary()
         );
+    }
+}
+
+/// The per-backend mutation gate: for every ordering backend, eliding
+/// the backend's own edges on one (channel, group) must make the
+/// checked run visibly dirty — a happens-before violation, a sanity
+/// violation, or corrupted DRAM bytes. A backend whose elision hook is
+/// wired but whose check stays green would be a vacuous gate.
+fn assert_mutation_fires(mode: OrderingMode, core: SimCore) {
+    // The adversarial scheduler makes the window opened by the elided
+    // edge actually get hit on every backend, not just the slow ones.
+    let plan = FaultPlan {
+        sched_adversary: true,
+        drop_edge: Some(DropEdge { channel: 0, group: 0 }),
+        ..FaultPlan::none()
+    };
+    let s = scenario(WorkloadId::Add, ExecMode::Pim(mode), core, plan);
+    let outcome = check_scenario(&s).expect("mutant run completes");
+    assert!(outcome.edges_dropped > 0, "{mode} {core:?}: mutation must elide edges");
+    assert!(
+        !outcome.is_clean(),
+        "{mode} {core:?}: elided edges must dirty the check: {}",
+        outcome.summary()
+    );
+}
+
+#[test]
+fn mutation_gate_fires_for_every_backend() {
+    for mode in BACKENDS {
+        assert_mutation_fires(mode, SimCore::Event);
+    }
+}
+
+#[test]
+#[ignore = "tier 2: per-backend mutation gate on the cycle core too; run via --include-ignored or ORDERLIGHT_TIER2=1 ./ci.sh"]
+fn mutation_gate_fires_for_every_backend_on_both_cores() {
+    for mode in BACKENDS {
+        for core in [SimCore::Cycle, SimCore::Event] {
+            assert_mutation_fires(mode, core);
+        }
     }
 }
 
