@@ -108,6 +108,44 @@ trap 'rm -rf "$tmpdir"' EXIT
 cmp "$tmpdir/fig05_fence.profile.json" "$tmpdir/fig05_fence_cycle.profile.json" \
     || { echo "profile JSON differs between cores"; exit 1; }
 
+# Simulation-as-a-service smoke: start the daemon on an ephemeral
+# loopback port, submit the fig05 OrderLight scenario from two
+# concurrent clients, cmp both replies byte-for-byte against a direct
+# in-process run (determinism makes a served reply exact), then assert
+# a repeated request is answered from the scenario cache without
+# re-simulating, and shut the daemon down cleanly.
+echo "==> orderlight serve (service smoke: concurrency, cmp, cache)"
+./target/release/orderlight serve --jobs 2 > "$tmpdir/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmpdir/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on \([0-9.:]*\).*/\1/p' "$tmpdir/serve.log")"
+[[ -n "$addr" ]] || { echo "serve did not report a listening address"; exit 1; }
+./target/release/orderlight submit --addr "$addr" --workload Add --data-kb 32 \
+    --out "$tmpdir/served_a.json" > /dev/null &
+client_a=$!
+./target/release/orderlight submit --addr "$addr" --workload Add --data-kb 32 \
+    --out "$tmpdir/served_b.json" > /dev/null &
+client_b=$!
+wait "$client_a" "$client_b" \
+    || { echo "a concurrent submit failed"; exit 1; }
+./target/release/orderlight submit --local --workload Add --data-kb 32 \
+    --out "$tmpdir/direct.json"
+cmp "$tmpdir/served_a.json" "$tmpdir/direct.json" \
+    || { echo "served reply A differs from the direct run"; exit 1; }
+cmp "$tmpdir/served_b.json" "$tmpdir/direct.json" \
+    || { echo "served reply B differs from the direct run"; exit 1; }
+./target/release/orderlight submit --addr "$addr" --workload Add --data-kb 32 \
+    > "$tmpdir/cached.out"
+grep -q '"cached":true' "$tmpdir/cached.out" \
+    || { echo "repeated request was not answered from the cache"; exit 1; }
+./target/release/orderlight submit --addr "$addr" --shutdown > /dev/null
+wait "$serve_pid" || { echo "serve did not exit cleanly"; exit 1; }
+trap 'rm -rf "$tmpdir"' EXIT
+
 # Sweep regression benchmark: re-runs every figure sweep serial vs
 # parallel AND cycle-core vs event-core in release mode, failing on
 # any bit-level mismatch. `--profile` additionally re-runs each figure

@@ -1,24 +1,29 @@
 //! Shared command-line handling for the report binaries.
 //!
-//! Every `src/bin/` binary accepts the same flags; this module parses
-//! them once instead of each binary re-assembling the
-//! `report_data_bytes` / `jobs_from_process_args` /
-//! `core_from_process_args` triple by hand:
+//! Every `src/bin/` binary accepts the shared execution flags, parsed
+//! by [`orderlight_sim::cli`] — the same parser the `orderlight`
+//! multitool dispatches through, so the flag surface cannot drift
+//! between the two entry points:
 //!
+//! * `--jobs N` / `-j N` — sweep worker count (or `ORDERLIGHT_JOBS`).
 //! * `--core cycle|event` — execution core (or `ORDERLIGHT_CORE`);
 //!   installed process-wide as with the `orderlight` CLI.
-//! * `--jobs N` — sweep worker count (or `ORDERLIGHT_JOBS`).
-//! * `--data-kb N` — KiB per data structure per channel (or
-//!   `ORDERLIGHT_DATA_KB`; default 256).
 //! * `--seed N` — master seed for fault-stressed runs (default 0;
 //!   feed it to `ScenarioBuilder::fault_seed`).
+//! * `--ordering MODE` — execution mode override for binaries that
+//!   honour it (`gpu`, `none`, `fence`, `orderlight`, `seqnum`,
+//!   `louvre`, `bulk`).
+//!
+//! Plus the report-specific `--data-kb N` — KiB per data structure per
+//! channel (or `ORDERLIGHT_DATA_KB`; default 256).
 //!
 //! Unknown arguments are ignored, matching the binaries' historical
 //! behaviour; invalid values for known flags exit with status 2.
 
 use crate::report_data_bytes;
-use orderlight_sim::core_select::{core_from_process_args, SimCore};
-use orderlight_sim::pool::jobs_from_process_args;
+use orderlight_sim::cli::common_from_process_args;
+use orderlight_sim::config::ExecMode;
+use orderlight_sim::core_select::SimCore;
 
 /// The parsed common flags.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +36,8 @@ pub struct BenchArgs {
     pub core: SimCore,
     /// Master fault seed for stressed runs.
     pub seed: u64,
+    /// Execution-mode override from `--ordering`, when given.
+    pub ordering: Option<ExecMode>,
 }
 
 impl BenchArgs {
@@ -62,10 +69,14 @@ fn flag_value(args: &[String], flag: &str) -> Option<u64> {
 /// [`BenchArgs`], installing the `--core` choice process-wide.
 #[must_use]
 pub fn parse() -> BenchArgs {
-    let core = core_from_process_args();
-    let jobs = jobs_from_process_args();
+    let common = common_from_process_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let data = flag_value(&args, "--data-kb").map_or_else(report_data_bytes, |kb| kb * 1024);
-    let seed = flag_value(&args, "--seed").unwrap_or(0);
-    BenchArgs { data, jobs, core, seed }
+    BenchArgs {
+        data,
+        jobs: common.jobs,
+        core: common.core,
+        seed: common.seed,
+        ordering: common.ordering,
+    }
 }

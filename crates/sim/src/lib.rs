@@ -26,12 +26,15 @@
 //! bit-identical to the serial loop at any worker count.
 
 pub mod calendar;
+pub mod cli;
 pub mod config;
 pub mod core_select;
 pub mod experiments;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod schema;
+pub mod service;
 pub mod stats;
 pub mod system;
 
@@ -39,5 +42,6 @@ pub use config::{ExecMode, ExperimentConfig, SystemConfig};
 pub use core_select::SimCore;
 pub use pool::Pool;
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use schema::{ScenarioSpec, SchemaError, SCENARIO_SCHEMA_V1};
 pub use stats::RunStats;
 pub use system::System;

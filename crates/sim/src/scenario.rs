@@ -123,6 +123,43 @@ impl Scenario {
         sys.run_with(self.budget(), self.core())
     }
 
+    /// The canonical scenario hash — the service-cache key.
+    ///
+    /// Folds every **semantic** input of a run (workload, mode, TS
+    /// size, BMF, job size, credits, the resolved cycle budget, the
+    /// fault plan and the full system configuration) through SplitMix64,
+    /// each field salted with its name. Two scenarios that would produce
+    /// the same [`RunStats`] by construction hash equal no matter how
+    /// they were spelled (JSON field order, `data_kb` vs `data_bytes`,
+    /// defaults left implicit vs written out), and changing any single
+    /// field changes the hash.
+    ///
+    /// Execution knobs that provably do *not* affect results are
+    /// excluded: the core (cycle/event bit-identity contract), the
+    /// worker count (pool purity contract) and the trace sink
+    /// (observe-only contract). This is what makes a cache reply exact:
+    /// `System::run` is a pure function of exactly the hashed fields.
+    #[must_use]
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = fold_str(0x6f72_6465_726c_6967, "orderlight/scenario/v1");
+        h = fold_str(h, "workload");
+        h = fold_str(h, self.exp.workload.meta().name);
+        h = fold_str(h, "mode");
+        h = fold_str(h, &self.exp.mode.to_string());
+        h = fold_u64(fold_str(h, "ts"), self.exp.ts_size.denominator());
+        h = fold_u64(fold_str(h, "bmf"), u64::from(self.exp.bmf));
+        h = fold_u64(fold_str(h, "data_bytes"), self.exp.data_bytes_per_channel);
+        h = fold_u64(fold_str(h, "credits"), u64::from(self.exp.seq_credits));
+        h = fold_u64(fold_str(h, "budget"), self.budget());
+        // The fault plan and system configuration are folded through
+        // their derived Debug forms: every public knob appears there, so
+        // a change to any nested field (scheduler depth, refresh window,
+        // pipe latency, jitter bound ...) perturbs the hash without this
+        // function having to enumerate — and chase — them all.
+        h = fold_str(fold_str(h, "faults"), &format!("{:?}", self.faults));
+        fold_str(fold_str(h, "system"), &format!("{:?}", self.exp.system))
+    }
+
     /// Like [`Scenario::run`], but also returns the system's clock
     /// domains — exporters need them to place core- and memory-clocked
     /// trace events on one time axis.
@@ -135,6 +172,26 @@ impl Scenario {
         let stats = sys.run_with(self.budget(), self.core())?;
         Ok((stats, clocks))
     }
+}
+
+/// One SplitMix64 step: scrambles the accumulated state with the next
+/// 64-bit word. The underlying generator passes BigCrush, so single-bit
+/// input changes diffuse through the whole state.
+fn fold_u64(h: u64, v: u64) -> u64 {
+    orderlight::rng::Rng::new(h ^ v).next_u64()
+}
+
+/// Folds a string: its length, then each 8-byte chunk (zero-padded).
+/// The length prefix keeps `("ab", "c")` and `("a", "bc")` distinct
+/// across adjacent folds.
+fn fold_str(h: u64, s: &str) -> u64 {
+    let mut h = fold_u64(h, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = fold_u64(h, u64::from_le_bytes(word));
+    }
+    h
 }
 
 /// Builder for [`Scenario`] — the single typed entry point for
@@ -352,6 +409,67 @@ mod tests {
             .unwrap();
         assert_eq!(s.faults().seed, 9);
         assert!(s.faults().sched_adversary);
+    }
+
+    #[test]
+    fn canonical_hash_ignores_spelling_but_not_semantics() {
+        use crate::schema::ScenarioSpec;
+        // Three textually different documents for the same scenario:
+        // reordered fields, data_kb vs data_bytes, defaults explicit vs
+        // implicit (bmf/credits/mode written out vs omitted).
+        let texts = [
+            r#"{"schema": "orderlight/scenario/v1", "workload": "Add", "data_kb": 8}"#,
+            r#"{"data_bytes": 8192, "workload": "add", "schema": "orderlight/scenario/v1"}"#,
+            concat!(
+                r#"{"schema": "orderlight/scenario/v1", "mode": "orderlight", "bmf": 16,"#,
+                r#" "credits": 32, "ts": 8, "workload": "Add", "data_kb": 8}"#
+            ),
+        ];
+        let hashes: Vec<u64> = texts
+            .iter()
+            .map(|t| ScenarioSpec::parse_str(t).unwrap().build().unwrap().canonical_hash())
+            .collect();
+        assert_eq!(hashes[0], hashes[1], "data_kb vs data_bytes must not matter");
+        assert_eq!(hashes[0], hashes[2], "explicit defaults must not matter");
+        // Execution knobs excluded from the key: core and jobs.
+        let base = ScenarioSpec::parse_str(texts[0]).unwrap();
+        let tuned = base.builder().core(SimCore::Cycle).jobs(7).build().unwrap();
+        assert_eq!(tuned.canonical_hash(), hashes[0]);
+    }
+
+    #[test]
+    fn canonical_hash_changes_with_every_field() {
+        let base = || {
+            ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::OrderLight))
+                .data_kb(8)
+        };
+        let h0 = base().build().unwrap().canonical_hash();
+        let variants = [
+            (
+                "workload",
+                ScenarioBuilder::new(WorkloadId::Copy, ExecMode::Pim(OrderingMode::OrderLight))
+                    .data_kb(8),
+            ),
+            (
+                "mode",
+                ScenarioBuilder::new(WorkloadId::Add, ExecMode::Pim(OrderingMode::Fence))
+                    .data_kb(8),
+            ),
+            ("ts", base().ts_size(TsSize::Half)),
+            ("bmf", base().bmf(4)),
+            ("data", base().data_kb(16)),
+            ("credits", base().seq_credits(8)),
+            ("budget", base().budget(123_456)),
+            ("faults", base().faults(FaultPlan::stress(3))),
+            ("fault_seed", base().faults(FaultPlan::stress(4))),
+            ("system", base().tune_system(|sys| sys.mc.scan_depth = 3)),
+        ];
+        let mut seen = vec![h0];
+        for (name, builder) in variants {
+            let h = builder.build().unwrap().canonical_hash();
+            assert!(!seen.contains(&h), "'{name}' change did not change the hash");
+            seen.push(h);
+        }
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Simulation-as-a-service: the `orderlight serve` daemon.
+//!
+//! A dependency-free, thread-per-connection TCP server over
+//! [`std::net::TcpListener`] that accepts scenario requests on a
+//! newline-delimited JSON protocol, batches independent runs onto a
+//! persistent worker pool (the run-level parallelism unit from
+//! [`crate::pool`]), streams progress and final [`RunStats`] back to
+//! many concurrent clients, and memoizes completed runs keyed by
+//! [`crate::Scenario::canonical_hash`].
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line, both directions. A request is either an
+//! `orderlight/scenario/v1` document ([`crate::schema`]) with an
+//! optional extra `"id"` field echoed back verbatim, or an admin
+//! command `{"cmd": "stats"}` / `{"cmd": "shutdown"}`. A scenario
+//! request answers with up to three lines:
+//!
+//! ```text
+//! {"id":7,"reply":"accepted","scenario_hash":"0x..."}   (cache miss only)
+//! {"id":7,"reply":"running"}                            (cache miss only)
+//! {"id":7,"reply":"result","cached":false,"latency_us":...,"slo":{...},"stats":{...}}
+//! ```
+//!
+//! Every failure is a typed single-line reply, never a dropped
+//! connection: `{"reply":"error","kind":K,"message":...}` with `kind`
+//! one of `parse` (malformed JSON), `schema` (versioning / unknown
+//! field / bad value, see [`crate::schema::SchemaError`]), `config`
+//! (fields valid but
+//! inconsistent), `sim` (the run itself failed) or `proto` (bad admin
+//! command).
+//!
+//! ## Why the cache is exact
+//!
+//! [`crate::System::run`] is a pure function of its config — the
+//! parallel-equivalence and core-equivalence suites prove bit-identical
+//! results at any worker count and under either execution core. A
+//! request's canonical hash therefore fully determines its reply bytes,
+//! so a cached reply *is* the true reply, not an approximation; the
+//! `ci.sh` smoke gate `cmp`s served replies against a direct in-process
+//! run. Results enter the cache before the socket write, so a client
+//! disconnecting mid-run never loses the work.
+//!
+//! The bench suite's `point_latency_us` percentiles become the service
+//! SLO: every result reply carries the p50/p95/p99 of request latency
+//! so far, and `{"cmd":"stats"}` exposes hit/miss counters.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use orderlight_trace::json::{self, Value};
+use orderlight_trace::Histogram;
+
+use crate::schema::{stats_to_value, ScenarioSpec};
+
+/// How often a blocked connection reader wakes up to check for
+/// shutdown, so `run` can join handler threads even when a client
+/// holds an idle connection open.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// What a worker reports back to the connection handler that enqueued
+/// the job.
+enum JobEvent {
+    /// The run left the queue and started executing.
+    Started,
+    /// The run finished: the canonical stats JSON, or a message.
+    Finished(Result<String, String>),
+}
+
+/// One queued simulation.
+struct Job {
+    spec: ScenarioSpec,
+    hash: u64,
+    events: mpsc::Sender<JobEvent>,
+}
+
+/// State shared between the acceptor, connection handlers and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// canonical hash → canonical stats JSON.
+    cache: Mutex<HashMap<u64, String>>,
+    /// Request latency in µs (queue wait + run, or cache lookup).
+    latency_us: Mutex<Histogram>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            latency_us: Mutex::new(Histogram::exponential(1, 40)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Records one request latency and returns the SLO percentiles
+    /// including it.
+    fn record_latency(&self, us: u64) -> Value {
+        let mut hist = self.latency_us.lock().expect("latency lock");
+        hist.record(us);
+        slo_value(&hist)
+    }
+}
+
+/// `{"p50":..,"p95":..,"p99":..}` from a latency histogram.
+fn slo_value(hist: &Histogram) -> Value {
+    let mut slo = BTreeMap::new();
+    for (name, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        #[allow(clippy::cast_precision_loss)]
+        let v = hist.percentile(p).unwrap_or(0) as f64;
+        slo.insert(name.to_string(), Value::Num(v));
+    }
+    Value::Obj(slo)
+}
+
+/// The `orderlight serve` daemon. [`Server::bind`] it, read
+/// [`Server::local_addr`], then [`Server::run`] — which blocks until a
+/// client sends `{"cmd": "shutdown"}`.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener. `workers` is clamped to at least 1.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, workers: usize) -> std::io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, workers: workers.max(1) })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until shutdown: spawns the worker pool, then accepts
+    /// connections and handles each on its own thread. Returns once
+    /// every worker and handler has joined.
+    ///
+    /// # Errors
+    /// Propagates accept failures other than shutdown.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = Shared::new();
+        let addr = self.local_addr()?;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+            for stream in self.listener.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                let stream = stream?;
+                let shared = &shared;
+                scope.spawn(move || handle_connection(stream, shared, addr));
+            }
+            // Unblock the workers so the scope can join them.
+            shared.available.notify_all();
+            Ok(())
+        })
+    }
+}
+
+/// Pops jobs until shutdown. Runs each scenario with panics contained,
+/// inserts the canonical result into the cache *before* reporting back
+/// (a disconnected client must not lose the work), then wakes the
+/// handler.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down() {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let _ = job.events.send(JobEvent::Started);
+        let outcome = run_job(&job.spec);
+        if let Ok(stats_json) = &outcome {
+            shared.cache.lock().expect("cache lock").insert(job.hash, stats_json.clone());
+        }
+        let _ = job.events.send(JobEvent::Finished(outcome));
+    }
+}
+
+/// Builds and runs one scenario, mapping panics and simulation errors
+/// to messages. Returns the canonical stats JSON on success.
+fn run_job(spec: &ScenarioSpec) -> Result<String, String> {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let scenario = spec.build().map_err(|e| e.to_string())?;
+        let stats = scenario.run().map_err(|e| e.to_string())?;
+        Ok(stats_to_value(&stats).to_json())
+    }));
+    run.unwrap_or_else(|_| Err("simulation panicked".to_string()))
+}
+
+/// Serves one client connection: a loop of request lines, each
+/// answered with typed reply lines. Returns (dropping the connection)
+/// on EOF, socket error or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared, self_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !handle_request(line.trim(), &mut writer, shared, self_addr) {
+            return;
+        }
+    }
+}
+
+/// Handles one request line. Returns `false` when the connection
+/// should close (write failure or shutdown).
+fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared, addr: SocketAddr) -> bool {
+    let start = Instant::now();
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return write_reply(writer, &error_reply(None, "parse", &e.to_string())),
+    };
+    // Envelope: an optional "id" echoed on every reply for this
+    // request; "cmd" marks an admin request.
+    let (doc, id) = split_id(doc);
+    if let Value::Obj(map) = &doc {
+        if let Some(cmd) = map.get("cmd") {
+            return handle_admin(cmd, id.as_ref(), writer, shared, addr);
+        }
+    }
+    let spec = match ScenarioSpec::from_value(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return write_reply(writer, &error_reply(id.as_ref(), "schema", &e.to_string())),
+    };
+    let scenario = match spec.build() {
+        Ok(s) => s,
+        Err(e) => return write_reply(writer, &error_reply(id.as_ref(), "config", &e.to_string())),
+    };
+    let hash = scenario.canonical_hash();
+
+    if let Some(stats_json) = shared.cache.lock().expect("cache lock").get(&hash).cloned() {
+        shared.hits.fetch_add(1, Ordering::Relaxed);
+        let slo = shared.record_latency(elapsed_us(start));
+        let reply = result_reply(id.as_ref(), true, elapsed_us(start), slo, &stats_json);
+        return write_reply(writer, &reply);
+    }
+
+    shared.misses.fetch_add(1, Ordering::Relaxed);
+    let mut accepted = reply_base(id.as_ref(), "accepted");
+    accepted.insert("scenario_hash".to_string(), Value::Str(format!("{hash:#018x}")));
+    if !write_reply(writer, &Value::Obj(accepted)) {
+        return false;
+    }
+
+    let (tx, rx) = mpsc::channel();
+    shared.queue.lock().expect("queue lock").push_back(Job { spec, hash, events: tx });
+    shared.available.notify_one();
+
+    // The worker owns the run; this handler only relays events, so a
+    // dead client can break the relay without wedging the worker.
+    let mut client_alive = true;
+    loop {
+        match rx.recv() {
+            Ok(JobEvent::Started) => {
+                if client_alive {
+                    client_alive =
+                        write_reply(writer, &Value::Obj(reply_base(id.as_ref(), "running")));
+                }
+            }
+            Ok(JobEvent::Finished(Ok(stats_json))) => {
+                let us = elapsed_us(start);
+                let slo = shared.record_latency(us);
+                if client_alive {
+                    client_alive = write_reply(
+                        writer,
+                        &result_reply(id.as_ref(), false, us, slo, &stats_json),
+                    );
+                }
+                return client_alive;
+            }
+            Ok(JobEvent::Finished(Err(message))) => {
+                if client_alive {
+                    client_alive = write_reply(writer, &error_reply(id.as_ref(), "sim", &message));
+                }
+                return client_alive;
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Handles `{"cmd": ...}`. Returns `false` to close the connection.
+fn handle_admin(
+    cmd: &Value,
+    id: Option<&Value>,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    addr: SocketAddr,
+) -> bool {
+    match cmd.as_str() {
+        Some("shutdown") => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            shared.available.notify_all();
+            // Poke the acceptor loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            write_reply(writer, &Value::Obj(reply_base(id, "bye")));
+            false
+        }
+        Some("stats") => {
+            let mut reply = reply_base(id, "stats");
+            let num = |v: u64| {
+                #[allow(clippy::cast_precision_loss)]
+                Value::Num(v as f64)
+            };
+            reply.insert("hits".to_string(), num(shared.hits.load(Ordering::Relaxed)));
+            reply.insert("misses".to_string(), num(shared.misses.load(Ordering::Relaxed)));
+            reply.insert(
+                "cached_scenarios".to_string(),
+                num(shared.cache.lock().expect("cache lock").len() as u64),
+            );
+            reply.insert("slo".to_string(), slo_value(&shared.latency_us.lock().expect("latency")));
+            write_reply(writer, &Value::Obj(reply))
+        }
+        _ => write_reply(writer, &error_reply(id, "proto", &format!("unknown cmd {cmd:?}"))),
+    }
+}
+
+/// Pulls the optional `"id"` envelope field out of a request object so
+/// the remainder is a pure schema document.
+fn split_id(doc: Value) -> (Value, Option<Value>) {
+    match doc {
+        Value::Obj(mut map) => {
+            let id = map.remove("id");
+            (Value::Obj(map), id)
+        }
+        other => (other, None),
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn reply_base(id: Option<&Value>, reply: &str) -> BTreeMap<String, Value> {
+    let mut map = BTreeMap::new();
+    if let Some(id) = id {
+        map.insert("id".to_string(), id.clone());
+    }
+    map.insert("reply".to_string(), Value::Str(reply.to_string()));
+    map
+}
+
+fn error_reply(id: Option<&Value>, kind: &str, message: &str) -> Value {
+    let mut map = reply_base(id, "error");
+    map.insert("kind".to_string(), Value::Str(kind.to_string()));
+    map.insert("message".to_string(), Value::Str(message.to_string()));
+    Value::Obj(map)
+}
+
+fn result_reply(
+    id: Option<&Value>,
+    cached: bool,
+    latency_us: u64,
+    slo: Value,
+    stats_json: &str,
+) -> Value {
+    let mut map = reply_base(id, "result");
+    map.insert("cached".to_string(), Value::Bool(cached));
+    #[allow(clippy::cast_precision_loss)]
+    map.insert("latency_us".to_string(), Value::Num(latency_us as f64));
+    map.insert("slo".to_string(), slo);
+    let stats = json::parse(stats_json).unwrap_or(Value::Null);
+    map.insert("stats".to_string(), stats);
+    Value::Obj(map)
+}
+
+/// Serialises one reply and writes it as a line. Returns `false` on a
+/// write failure (client gone).
+fn write_reply(writer: &mut TcpStream, reply: &Value) -> bool {
+    let mut line = reply.to_json();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).is_ok()
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// Sends one request line to a server and collects reply lines until
+/// the terminal `result` / `error` / `stats` / `bye` reply (or EOF).
+///
+/// # Errors
+/// Propagates connection and write failures.
+pub fn request(addr: &str, line: &str) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    let mut replies = Vec::new();
+    for reply in BufReader::new(stream).lines() {
+        let reply = reply?;
+        let terminal = reply_kind(&reply)
+            .is_none_or(|k| matches!(k.as_str(), "result" | "error" | "stats" | "bye"));
+        replies.push(reply);
+        if terminal {
+            break;
+        }
+    }
+    Ok(replies)
+}
+
+/// The `"reply"` discriminator of a reply line, when it parses.
+#[must_use]
+pub fn reply_kind(line: &str) -> Option<String> {
+    let doc = json::parse(line).ok()?;
+    doc.get("reply")?.as_str().map(ToString::to_string)
+}
+
+/// Extracts the embedded `stats` object of a `result` reply and
+/// re-serialises it canonically — byte-identical to what
+/// [`stats_to_value`] produces for the same run, which is what lets
+/// clients `cmp` a served reply against a local run.
+#[must_use]
+pub fn extract_stats(result_line: &str) -> Option<String> {
+    let doc = json::parse(result_line).ok()?;
+    if doc.get("reply")?.as_str()? != "result" {
+        return None;
+    }
+    Some(doc.get("stats")?.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_builders_echo_the_id() {
+        let id = Value::Num(7.0);
+        let err = error_reply(Some(&id), "parse", "nope").to_json();
+        assert_eq!(err, r#"{"id":7,"kind":"parse","message":"nope","reply":"error"}"#);
+        let (doc, id) = split_id(json::parse(r#"{"id": 3, "cmd": "stats"}"#).unwrap());
+        assert_eq!(id, Some(Value::Num(3.0)));
+        assert!(doc.get("id").is_none());
+        assert!(doc.get("cmd").is_some());
+    }
+
+    #[test]
+    fn reply_kind_and_stats_extraction() {
+        let slo = slo_value(&Histogram::exponential(1, 4));
+        let line = result_reply(None, true, 12, slo, r#"{"b":2,"a":1}"#).to_json();
+        assert_eq!(reply_kind(&line).as_deref(), Some("result"));
+        // Canonical re-serialisation sorts the embedded keys.
+        assert_eq!(extract_stats(&line).as_deref(), Some(r#"{"a":1,"b":2}"#));
+        assert_eq!(extract_stats(r#"{"reply":"running"}"#), None);
+    }
+}

@@ -36,6 +36,74 @@ impl Value {
         }
     }
 
+    /// Serialises to **canonical** compact JSON: no whitespace, object
+    /// keys in `BTreeMap` (lexicographic) order, integral numbers
+    /// without a fraction, non-integral numbers via Rust's
+    /// shortest-round-trip float formatting. Two semantically equal
+    /// values always produce the same bytes, and
+    /// `parse(v.to_json()).to_json() == v.to_json()` — the property the
+    /// service layer relies on to compare replies with `cmp`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => out.push_str(&format_number(*n)),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Canonical number formatting: finite integral values in `i64` range
+/// print without a fraction (`5`, not `5.0`); everything else uses
+/// Rust's shortest-round-trip `f64` formatting. Non-finite values have
+/// no JSON spelling and serialise as `null`.
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl Value {
     /// The array items, if this is an array.
     #[must_use]
     pub fn as_array(&self) -> Option<&[Value]> {
@@ -379,6 +447,33 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "01x", "[1] junk", "tru"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_writer_round_trips_and_is_stable() {
+        let doc =
+            parse(r#"{ "b": [1, 2.5, -3], "a": {"z": null, "y": true}, "s": "q\"\n" }"#).unwrap();
+        let canon = doc.to_json();
+        // Keys in lexicographic order, compact, integral floats as ints.
+        assert_eq!(canon, "{\"a\":{\"y\":true,\"z\":null},\"b\":[1,2.5,-3],\"s\":\"q\\\"\\n\"}");
+        // Fixed point: parse(write(v)) writes the same bytes again.
+        assert_eq!(parse(&canon).unwrap().to_json(), canon);
+        // Field order in the source text does not matter.
+        let reordered = parse(r#"{"s":"q\"\n","a":{"y":true,"z":null},"b":[1,2.5,-3]}"#).unwrap();
+        assert_eq!(reordered.to_json(), canon);
+    }
+
+    #[test]
+    fn canonical_writer_number_forms() {
+        assert_eq!(Value::Num(5.0).to_json(), "5");
+        assert_eq!(Value::Num(-0.125).to_json(), "-0.125");
+        assert_eq!(Value::Num(1e18).to_json(), "1000000000000000000");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        // Shortest-round-trip: the parsed value re-serialises identically.
+        for s in ["0.1", "1234.5678", "1e18"] {
+            let v = parse(s).unwrap();
+            assert_eq!(parse(&v.to_json()).unwrap(), v, "{s}");
         }
     }
 

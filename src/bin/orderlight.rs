@@ -3,26 +3,40 @@
 //! ```text
 //! orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]
 //!                [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--verbose]
-//! orderlight check [run flags] [--faults none|noc|sched|storm|all]
-//!                  [--seed N] [--mutate CH:G]
+//! orderlight check [run flags] [--faults none|noc|sched|storm|all] [--mutate CH:G]
 //! orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]
 //! orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]
-//! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]
+//! orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N]
 //! orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]
-//! orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]
+//! orderlight bench [--quick] [--profile] [--data-kb N] [--out PATH]
 //! orderlight bench --compare A.json B.json [--threshold PCT]
+//! orderlight serve [--addr HOST:PORT]
+//! orderlight submit [run flags] [--budget N] --addr HOST:PORT [--out PATH]
+//! orderlight schema
 //! orderlight list
 //! orderlight taxonomy
 //! ```
 //!
-//! Every subcommand also accepts `--core cycle|event` (default: event,
-//! or `ORDERLIGHT_CORE`), selecting the dense per-cycle simulation core
-//! or the bit-identical event-driven time-skip core (see `DESIGN.md`,
+//! Every subcommand also accepts the shared execution flags, parsed
+//! once by `sim::cli` before dispatch: `--jobs N` / `-j N` (worker
+//! count, or `ORDERLIGHT_JOBS`), `--core cycle|event` (default: event,
+//! or `ORDERLIGHT_CORE`), `--seed N` (master fault seed) and
+//! `--ordering MODE` (default execution mode for run-style commands).
+//! `--core` selects the dense per-cycle simulation core or the
+//! bit-identical event-driven time-skip core (see `DESIGN.md`,
 //! "Quiescence contract"). Traced and profiled runs honour the selected
 //! core too: skip boundaries synthesize the periodic trace events, so
 //! the event core feeds a sink the same events the dense core emits and
 //! profile reports are byte-identical across cores (use `--core cycle`
 //! as an explicit opt-out when debugging the dense loop itself).
+//!
+//! `serve` runs the simulation-as-a-service daemon: newline-delimited
+//! `orderlight/scenario/v1` JSON requests in, typed JSON replies out,
+//! independent runs batched across `--jobs` workers, completed runs
+//! memoized by canonical scenario hash (exact, because `System::run`
+//! is a pure function of its config). `submit` is the matching client;
+//! `schema` prints the accepted wire schema. See DESIGN.md, "The
+//! service surface".
 //!
 //! Examples:
 //!
@@ -92,14 +106,19 @@ use orderlight_suite::check::{check_scenario, compare_backends, BackendRecord};
 use orderlight_suite::core::fault::{DropEdge, FaultPlan, NocJitter, RefreshStorm};
 use orderlight_suite::pim::TsSize;
 use orderlight_suite::profile::{profile_points, profile_scenario_with};
+use orderlight_suite::sim::cli::{take_common_flags, CommonFlags};
 use orderlight_suite::sim::config::ExecMode;
-use orderlight_suite::sim::core_select::{set_core_override, take_core_flag, SimCore};
+use orderlight_suite::sim::core_select::{set_core_override, SimCore};
 use orderlight_suite::sim::experiments::{
     fence_heavy_points, fig05_points, fig10_points, fig12_points, fig13_points, run_points,
     run_points_serial, JobSpec, SweepPoint,
 };
-use orderlight_suite::sim::pool::{available_jobs, take_jobs_flag, Pool};
+use orderlight_suite::sim::pool::{available_jobs, Pool};
 use orderlight_suite::sim::report::bar_chart;
+use orderlight_suite::sim::schema::{
+    parse_mode, parse_ts, parse_workload, schema_document, stats_to_value, ScenarioSpec,
+};
+use orderlight_suite::sim::service::{self, Server};
 use orderlight_suite::sim::RunStats;
 use orderlight_suite::sim::ScenarioBuilder;
 use orderlight_suite::trace::{
@@ -113,36 +132,9 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]]\n                   [--seed N] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N] [--jobs N]\n  orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--jobs N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts --core cycle|event (default: event;\ntrace and profile honour it too — skip boundaries synthesize the events)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N]\n  orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight serve [--addr HOST:PORT]\n  orderlight submit [run flags] [--budget N] --addr HOST:PORT [--out PATH]\n  orderlight submit [run flags] [--budget N] --local [--out PATH]\n  orderlight submit --addr HOST:PORT --shutdown | --stats\n  orderlight schema\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts the shared flags --jobs/-j N, --core cycle|event,\n--seed N and --ordering MODE (see `orderlight schema` for the wire surface)"
     );
     ExitCode::from(2)
-}
-
-fn parse_workload(name: &str) -> Option<WorkloadId> {
-    WorkloadId::ALL.into_iter().find(|w| w.meta().name.eq_ignore_ascii_case(name))
-}
-
-fn parse_mode(name: &str) -> Option<ExecMode> {
-    match name.to_ascii_lowercase().as_str() {
-        "gpu" => Some(ExecMode::Gpu),
-        "none" => Some(ExecMode::Pim(OrderingMode::None)),
-        "fence" => Some(ExecMode::Pim(OrderingMode::Fence)),
-        "orderlight" | "ol" => Some(ExecMode::Pim(OrderingMode::OrderLight)),
-        "seqnum" => Some(ExecMode::Pim(OrderingMode::SeqNum)),
-        "louvre" => Some(ExecMode::Pim(OrderingMode::LouvreVersioned)),
-        "bulk" => Some(ExecMode::Pim(OrderingMode::BulkBitwiseStrong)),
-        _ => None,
-    }
-}
-
-fn parse_ts(denom: &str) -> Option<TsSize> {
-    match denom {
-        "16" => Some(TsSize::Sixteenth),
-        "8" => Some(TsSize::Eighth),
-        "4" => Some(TsSize::Quarter),
-        "2" => Some(TsSize::Half),
-        _ => None,
-    }
 }
 
 /// The experiment knobs shared by `run` and `trace`.
@@ -169,12 +161,33 @@ impl Default for RunOpts {
 }
 
 impl RunOpts {
+    /// The defaults with the shared `--ordering` flag applied.
+    fn with_common(common: &CommonFlags) -> RunOpts {
+        let mut opts = RunOpts::default();
+        if let Some(mode) = common.ordering {
+            opts.mode = mode;
+        }
+        opts
+    }
+
     fn builder(&self) -> ScenarioBuilder {
         ScenarioBuilder::new(self.workload, self.mode)
             .ts_size(self.ts)
             .bmf(self.bmf)
             .data_kb(self.data_kb)
             .seq_credits(self.credits)
+    }
+
+    /// The `orderlight/scenario/v1` document for these knobs — what
+    /// `submit` puts on the wire.
+    fn spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.workload);
+        spec.mode = self.mode;
+        spec.ts = self.ts;
+        spec.bmf = self.bmf;
+        spec.data_bytes_per_channel = self.data_kb * 1024;
+        spec.seq_credits = self.credits;
+        spec
     }
 }
 
@@ -256,8 +269,8 @@ fn print_stats(stats: &RunStats) -> bool {
     }
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let mut opts = RunOpts::default();
+fn cmd_run(args: &[String], common: &CommonFlags) -> ExitCode {
+    let mut opts = RunOpts::with_common(common);
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -328,12 +341,11 @@ fn parse_mutate(spec: &str) -> Option<DropEdge> {
     Some(DropEdge { channel: ch.parse().ok()?, group: g.parse().ok()? })
 }
 
-fn cmd_check(args: &[String]) -> ExitCode {
+fn cmd_check(args: &[String], common: &CommonFlags) -> ExitCode {
     // Keep the default checked run small: the oracle retains per-request
     // state and the default job is CI-speed at 64 KiB.
-    let mut opts = RunOpts { data_kb: 64, ..RunOpts::default() };
+    let mut opts = RunOpts { data_kb: 64, ..RunOpts::with_common(common) };
     let mut plan = FaultPlan::none();
-    let mut seed: Option<u64> = None;
     let mut mutate: Option<DropEdge> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -349,7 +361,6 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 }
                 None => false,
             },
-            "--seed" => value.parse().map(|v| seed = Some(v)).is_ok(),
             "--mutate" => match parse_mutate(value) {
                 Some(edge) => {
                     mutate = Some(edge);
@@ -370,7 +381,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return usage();
         }
     }
-    plan.seed = seed.unwrap_or(0);
+    plan.seed = common.seed;
     plan.drop_edge = mutate;
 
     println!(
@@ -624,10 +635,10 @@ fn parse_capture_args(args: &[String], opts: &mut RunOpts) -> Result<(String, us
     Ok((out, capacity))
 }
 
-fn cmd_trace(args: &[String]) -> ExitCode {
+fn cmd_trace(args: &[String], common: &CommonFlags) -> ExitCode {
     // Keep the default traced run small: traces of the full-size default
     // job are hundreds of MB of JSON.
-    let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
+    let mut opts = RunOpts { data_kb: 16, ..RunOpts::with_common(common) };
     let (out, capacity) = match parse_capture_args(args, &mut opts) {
         Ok(x) => x,
         Err(code) => return code,
@@ -709,10 +720,10 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_profile(args: &[String]) -> ExitCode {
+fn cmd_profile(args: &[String], common: &CommonFlags) -> ExitCode {
     // Same default sizing as `trace`: the profiled run streams into the
     // aggregation, but the teed ring still backs the Chrome export.
-    let mut opts = RunOpts { data_kb: 16, ..RunOpts::default() };
+    let mut opts = RunOpts { data_kb: 16, ..RunOpts::with_common(common) };
     let (out, capacity) = match parse_capture_args(args, &mut opts) {
         Ok(x) => x,
         Err(code) => return code,
@@ -873,17 +884,10 @@ fn env_data_kb(default_kb: u64) -> u64 {
     std::env::var("ORDERLIGHT_DATA_KB").ok().and_then(|v| v.parse().ok()).unwrap_or(default_kb)
 }
 
-fn cmd_sweep(args: &[String]) -> ExitCode {
-    let (rest, jobs) = match take_jobs_flag(args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("{e}");
-            return usage();
-        }
-    };
+fn cmd_sweep(args: &[String], jobs: usize) -> ExitCode {
     let mut which = "all".to_string();
     let mut data_kb = env_data_kb(256);
-    let mut rest = &rest[..];
+    let mut rest = args;
     if let Some(first) = rest.first() {
         if !first.starts_with('-') {
             which.clone_from(first);
@@ -1373,21 +1377,15 @@ fn cmd_bench_compare(a_path: &str, b_path: &str, threshold_pct: f64) -> ExitCode
     }
 }
 
-fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
-    let (rest, jobs) = match take_jobs_flag(args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("{e}");
-            return usage();
-        }
-    };
+fn cmd_bench(args: &[String], common: &CommonFlags) -> ExitCode {
+    let (jobs, core) = (common.jobs, common.core);
     let mut quick = false;
     let mut profile = false;
     let mut out = "BENCH_sweep.json".to_string();
     let mut data_kb: Option<u64> = None;
     let mut compare: Option<(String, String)> = None;
     let mut threshold_pct = 20.0f64;
-    let mut it = rest.iter();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
         let ok = match flag.as_str() {
             "--quick" => {
@@ -1647,27 +1645,200 @@ fn cmd_bench(args: &[String], core: SimCore) -> ExitCode {
     }
 }
 
+/// `orderlight schema`: prints the accepted `orderlight/scenario/v1`
+/// wire schema — the contract `serve` enforces and `submit` speaks.
+fn cmd_schema() -> ExitCode {
+    print!("{}", schema_document());
+    ExitCode::SUCCESS
+}
+
+/// `orderlight serve`: the simulation daemon. Binds `--addr` (default
+/// loopback on an ephemeral port), prints the bound address, then
+/// serves scenario requests on `--jobs` workers until a client sends
+/// `{"cmd": "shutdown"}`.
+fn cmd_serve(args: &[String], common: &CommonFlags) -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--addr", Some(value)) => addr.clone_from(value),
+            ("--addr", None) => {
+                eprintln!("missing value for {flag}");
+                return usage();
+            }
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::bind(&addr, common.jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // Parsed by `ci.sh` and scripted clients; stdout is
+        // line-buffered so the line is visible before the first accept.
+        Ok(bound) => println!("listening on {bound} ({} workers)", common.jobs.max(1)),
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `orderlight submit`: the service client. Builds a scenario from the
+/// shared run flags, sends it to `--addr` (or runs it in-process with
+/// `--local`), prints every reply line, and with `--out` writes the
+/// canonical stats JSON — byte-identical between a served reply and a
+/// local run, which is what the `ci.sh` smoke gate `cmp`s.
+fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
+    let mut opts = RunOpts::with_common(common);
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut budget: Option<u64> = None;
+    let mut local = false;
+    let mut admin: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let ok = match flag.as_str() {
+            "--local" => {
+                local = true;
+                true
+            }
+            "--shutdown" => {
+                admin = Some("shutdown");
+                true
+            }
+            "--stats" => {
+                admin = Some("stats");
+                true
+            }
+            _ => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {flag}");
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--addr" => {
+                        addr = Some(value.clone());
+                        true
+                    }
+                    "--out" | "-o" => {
+                        out = Some(value.clone());
+                        true
+                    }
+                    "--budget" => value.parse().map(|v| budget = Some(v)).is_ok(),
+                    _ => match apply_common_flag(&mut opts, flag, value) {
+                        Some(ok) => ok,
+                        None => {
+                            eprintln!("unknown flag {flag}");
+                            return usage();
+                        }
+                    },
+                }
+            }
+        };
+        if !ok {
+            eprintln!("invalid value for {flag}");
+            return usage();
+        }
+    }
+    let mut spec = opts.spec();
+    spec.budget = budget;
+
+    let stats_json = if local {
+        match spec.build().map_err(|e| e.to_string()).and_then(|s| {
+            s.run().map_err(|e| e.to_string()).map(|stats| stats_to_value(&stats).to_json())
+        }) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let Some(addr) = addr else {
+            eprintln!("submit needs --addr HOST:PORT (or --local)");
+            return usage();
+        };
+        let line = match admin {
+            Some(cmd) => format!("{{\"cmd\":\"{cmd}\"}}"),
+            None => spec.to_value().to_json(),
+        };
+        let replies = match service::request(&addr, &line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot reach {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for reply in &replies {
+            println!("{reply}");
+        }
+        let Some(last) = replies.last() else {
+            eprintln!("server closed the connection without a reply");
+            return ExitCode::FAILURE;
+        };
+        if admin.is_some() {
+            return ExitCode::SUCCESS;
+        }
+        match service::extract_stats(last) {
+            Some(json) => json,
+            None => {
+                eprintln!("no result reply — see lines above");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(path) = out {
+        let mut line = stats_json.clone();
+        line.push('\n');
+        if let Err(e) = std::fs::write(&path, line) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if local {
+        println!("{stats_json}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `--core` is global: strip it before subcommand dispatch and install
-    // it as the process-wide default (explicit flag beats ORDERLIGHT_CORE).
-    let (args, core) = match take_core_flag(&args) {
+    // The shared flags (--jobs/--core/--seed/--ordering) are global:
+    // strip them before subcommand dispatch and install the core choice
+    // process-wide (explicit flag beats ORDERLIGHT_CORE).
+    let (args, common) = match take_common_flags(&args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("{e}");
             return usage();
         }
     };
-    set_core_override(Some(core));
+    common.install_core();
     match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("check") => cmd_check(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("profile") => cmd_profile(&args[1..]),
+        Some("run") => cmd_run(&args[1..], &common),
+        Some("check") => cmd_check(&args[1..], &common),
+        Some("trace") => cmd_trace(&args[1..], &common),
+        Some("profile") => cmd_profile(&args[1..], &common),
         Some("profile-verify") => cmd_profile_verify(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("compare-ordering") => cmd_compare_ordering(&args[1..], core),
-        Some("bench") => cmd_bench(&args[1..], core),
+        Some("sweep") => cmd_sweep(&args[1..], common.jobs),
+        Some("compare-ordering") => cmd_compare_ordering(&args[1..], common.core),
+        Some("bench") => cmd_bench(&args[1..], &common),
+        Some("serve") => cmd_serve(&args[1..], &common),
+        Some("submit") => cmd_submit(&args[1..], &common),
+        Some("schema") => cmd_schema(),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),
         _ => usage(),

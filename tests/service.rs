@@ -1,0 +1,188 @@
+//! Contract tests for the `orderlight serve` service surface: served
+//! replies are bit-identical to direct in-process runs, repeated
+//! requests hit the scenario cache, many concurrent clients are served
+//! correctly, and every error path (malformed JSON, bad schema
+//! version, unknown field, mid-run disconnect) yields a typed reply —
+//! never a panic, a dropped connection without a reply, or a wedged
+//! worker.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use orderlight_suite::sim::schema::{stats_to_value, ScenarioSpec, SCENARIO_SCHEMA_V1};
+use orderlight_suite::sim::service::{extract_stats, reply_kind, request, Server};
+use orderlight_suite::trace::json;
+
+/// Binds a server on an ephemeral loopback port and runs it on a
+/// background thread. Send `{"cmd":"shutdown"}` and join the handle to
+/// tear it down.
+fn start_server(workers: usize) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", workers).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let replies = request(addr, r#"{"cmd":"shutdown"}"#).expect("shutdown request");
+    assert_eq!(reply_kind(replies.last().expect("bye reply")).as_deref(), Some("bye"));
+    handle.join().expect("server thread joins").expect("server exits cleanly");
+}
+
+/// A small, fast scenario request (the fig05 shape: Add under
+/// OrderLight).
+fn add_request() -> String {
+    format!(r#"{{"schema": "{SCENARIO_SCHEMA_V1}", "workload": "Add", "data_kb": 8}}"#)
+}
+
+/// What a direct in-process run of [`add_request`] serialises to.
+fn direct_stats() -> String {
+    let spec = ScenarioSpec::parse_str(&add_request()).expect("request parses");
+    let stats = spec.build().expect("scenario builds").run().expect("scenario runs");
+    stats_to_value(&stats).to_json()
+}
+
+/// The terminal reply of one served request, parsed.
+fn result_of(addr: &str, line: &str) -> json::Value {
+    let replies = request(addr, line).expect("request round-trips");
+    let last = replies.last().expect("a terminal reply");
+    json::parse(last).expect("terminal reply parses")
+}
+
+#[test]
+fn served_reply_is_bit_identical_and_repeat_hits_the_cache() {
+    let (addr, handle) = start_server(2);
+    let expected = direct_stats();
+
+    let first = result_of(&addr, &add_request());
+    assert_eq!(first.get("reply").and_then(json::Value::as_str), Some("result"));
+    assert_eq!(first.get("cached").and_then(json::Value::as_bool), Some(false));
+    assert!(first.get("slo").and_then(|s| s.get("p50")).is_some(), "SLO percentiles present");
+    assert_eq!(
+        first.get("stats").expect("stats present").to_json(),
+        expected,
+        "served stats must be byte-identical to a direct run"
+    );
+
+    let second = result_of(&addr, &add_request());
+    assert_eq!(
+        second.get("cached").and_then(json::Value::as_bool),
+        Some(true),
+        "repeated request must be answered from the cache"
+    );
+    assert_eq!(second.get("stats").expect("stats present").to_json(), expected);
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn eight_concurrent_clients_all_get_exact_replies() {
+    let (addr, handle) = start_server(4);
+    let expected = direct_stats();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    // Tag each request with an id to prove reply routing.
+                    let line = format!(
+                        r#"{{"id": {i}, "schema": "{SCENARIO_SCHEMA_V1}", "workload": "Add", "data_kb": 8}}"#
+                    );
+                    let replies = request(addr, &line).expect("request round-trips");
+                    let last = replies.last().expect("terminal reply").clone();
+                    (i, last)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (i, last) = h.join().expect("client thread joins");
+            let doc = json::parse(&last).expect("reply parses");
+            assert_eq!(
+                doc.get("id").and_then(json::Value::as_f64),
+                Some(f64::from(i)),
+                "reply must echo the request id"
+            );
+            let stats = extract_stats(&last).expect("a result reply");
+            assert_eq!(stats, expected, "client {i}: served stats must match a direct run");
+        }
+    });
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn error_surfaces_are_typed_replies() {
+    let (addr, handle) = start_server(1);
+    let cases = [
+        ("{not json", "parse"),
+        (r#"{"workload": "Add"}"#, "schema"), // missing version
+        (r#"{"schema": "orderlight/scenario/v2", "workload": "Add"}"#, "schema"), // bad version
+        (
+            &format!(r#"{{"schema": "{SCENARIO_SCHEMA_V1}", "workload": "Add", "bmg": 4}}"#),
+            "schema",
+        ), // unknown field
+        (
+            &format!(r#"{{"schema": "{SCENARIO_SCHEMA_V1}", "workload": "Add", "bmf": 0}}"#),
+            "config",
+        ), // fields valid, config inconsistent
+        (r#"{"cmd": "reboot"}"#, "proto"),
+    ];
+    for (line, kind) in cases {
+        let doc = result_of(&addr, line);
+        assert_eq!(
+            doc.get("reply").and_then(json::Value::as_str),
+            Some("error"),
+            "{line} must produce an error reply"
+        );
+        assert_eq!(
+            doc.get("kind").and_then(json::Value::as_str),
+            Some(kind),
+            "{line} must be typed '{kind}'"
+        );
+        assert!(
+            doc.get("message").and_then(json::Value::as_str).is_some_and(|m| !m.is_empty()),
+            "{line} must carry a message"
+        );
+    }
+    // The connection and workers survive every error: a real request
+    // still round-trips afterwards.
+    let ok = result_of(&addr, &add_request());
+    assert_eq!(ok.get("reply").and_then(json::Value::as_str), Some("result"));
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn mid_run_disconnect_does_not_lose_the_run_or_wedge_a_worker() {
+    let (addr, handle) = start_server(1);
+    // Fire a request and hang up immediately, before any reply can be
+    // consumed — the single worker must survive the dead client.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(add_request().as_bytes()).expect("send request");
+        stream.write_all(b"\n").expect("send newline");
+        // Dropping the stream here closes the socket mid-run.
+    }
+    // The same scenario from a live client still completes — and once
+    // the abandoned run finishes, the cache retains its result, so
+    // this reply eventually comes back cached (either from our own run
+    // or the abandoned one; both are byte-identical by determinism).
+    let expected = direct_stats();
+    let doc = result_of(&addr, &add_request());
+    assert_eq!(doc.get("reply").and_then(json::Value::as_str), Some("result"));
+    assert_eq!(doc.get("stats").expect("stats present").to_json(), expected);
+    let again = result_of(&addr, &add_request());
+    assert_eq!(again.get("cached").and_then(json::Value::as_bool), Some(true));
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn stats_command_reports_hits_and_misses() {
+    let (addr, handle) = start_server(1);
+    let _ = result_of(&addr, &add_request());
+    let _ = result_of(&addr, &add_request());
+    let doc = result_of(&addr, r#"{"cmd": "stats"}"#);
+    assert_eq!(doc.get("reply").and_then(json::Value::as_str), Some("stats"));
+    assert_eq!(doc.get("misses").and_then(json::Value::as_f64), Some(1.0));
+    assert_eq!(doc.get("hits").and_then(json::Value::as_f64), Some(1.0));
+    assert_eq!(doc.get("cached_scenarios").and_then(json::Value::as_f64), Some(1.0));
+    shutdown(&addr, handle);
+}
