@@ -142,6 +142,28 @@ cmp "$tmpdir/served_b.json" "$tmpdir/direct.json" \
     > "$tmpdir/cached.out"
 grep -q '"cached":true' "$tmpdir/cached.out" \
     || { echo "repeated request was not answered from the cache"; exit 1; }
+
+# Telemetry-plane scrape: after the two concurrent submits (plus the
+# cached repeat above) the live metrics registry must attribute every
+# request — at least two results, at least one cache hit — and the
+# flight recorder must hold all three scenario requests. `top --once`
+# must render the same snapshot as a one-screen summary.
+echo "==> orderlight serve (telemetry scrape: metrics, flightrec, top)"
+./target/release/orderlight submit --addr "$addr" --metrics-text > "$tmpdir/metrics.txt"
+requests_result="$(awk '$1 == "orderlight_requests_result" {print $2}' "$tmpdir/metrics.txt")"
+cache_hits="$(awk '$1 == "orderlight_cache_hits" {print $2}' "$tmpdir/metrics.txt")"
+[[ -n "$requests_result" && "$requests_result" -ge 2 ]] \
+    || { echo "metrics report requests_result=$requests_result, want >= 2"; exit 1; }
+[[ -n "$cache_hits" && "$cache_hits" -ge 1 ]] \
+    || { echo "metrics report cache_hits=$cache_hits, want >= 1"; exit 1; }
+./target/release/orderlight submit --addr "$addr" --flightrec > "$tmpdir/flightrec.out"
+recorded="$(grep -o '"outcome":"result-' "$tmpdir/flightrec.out" | wc -l)"
+[[ "$recorded" -ge 3 ]] \
+    || { echo "flight recorder holds $recorded requests, want >= 3"; exit 1; }
+./target/release/orderlight top --addr "$addr" --once > "$tmpdir/top.out"
+grep -q "^requests " "$tmpdir/top.out" && grep -q "^cache " "$tmpdir/top.out" \
+    || { echo "orderlight top did not render the metrics snapshot"; exit 1; }
+
 ./target/release/orderlight submit --addr "$addr" --shutdown > /dev/null
 wait "$serve_pid" || { echo "serve did not exit cleanly"; exit 1; }
 trap 'rm -rf "$tmpdir"' EXIT

@@ -46,8 +46,10 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 
 pub use chrome::{ChromeTraceBuilder, ClockDomains};
 pub use event::{DramCmdKind, EventCategory, InstrKind, SchedSide, StallCause, TraceEvent};
-pub use metrics::{CounterRegistry, Histogram};
+pub use metrics::{Counter, CounterRegistry, Gauge, Histogram, MetricsRegistry, ShardedHistogram};
 pub use sink::{NopSink, RingSink, SharedSink, TeeSink, TraceSink};
+pub use span::{spans_to_chrome, SpanPhases, SERVICE_SPAN_PID};

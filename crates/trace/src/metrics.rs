@@ -1,7 +1,11 @@
-//! Latency histograms and the named counter registry.
+//! Latency histograms, the named counter registry, and the live
+//! [`MetricsRegistry`] backing the `orderlight serve` telemetry plane.
 
-use std::collections::HashMap;
+use crate::json::Value;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A fixed-bucket latency histogram.
 ///
@@ -144,6 +148,29 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Sum of recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Folds another histogram's samples into this one. Both must share
+    /// the same bucket edges — merge is how [`ShardedHistogram`]
+    /// reassembles one logical distribution from its per-shard parts.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different edges.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "merged histograms must share bucket edges");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// `(label, count)` rows for chart rendering: `"<=N"` per edge plus
     /// a final `">N"` overflow row.
     #[must_use]
@@ -276,6 +303,274 @@ impl CounterRegistry {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Live metrics: the service telemetry plane
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing live counter: one relaxed atomic add per
+/// event, shareable across threads behind an `Arc`.
+///
+/// Unlike [`CounterRegistry`] (per-epoch, single-writer, post-hoc),
+/// counters are written concurrently by connection handlers and workers
+/// while the daemon runs, and read at any time by a metrics snapshot.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A live gauge: a signed point-in-time level (queue depth, busy
+/// workers, cache size) that moves both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `d` (negative to decrease).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Histogram`] sharded across independently locked parts to keep
+/// recording lock-cheap under concurrency: each recording thread hashes
+/// its thread id to a shard, so unrelated connection handlers rarely
+/// contend on the same mutex. [`ShardedHistogram::merged`] reassembles
+/// the single logical distribution for snapshots.
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    shards: Vec<Mutex<Histogram>>,
+}
+
+impl ShardedHistogram {
+    /// A sharded doubling-edge histogram (see
+    /// [`Histogram::exponential`]). `shards` is clamped to at least 1.
+    #[must_use]
+    pub fn exponential(shards: usize, first: u64, count: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedHistogram {
+            shards: (0..shards).map(|_| Mutex::new(Histogram::exponential(first, count))).collect(),
+        }
+    }
+
+    /// Records one value into the calling thread's shard.
+    pub fn record(&self, value: u64) {
+        let idx = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % self.shards.len()
+        };
+        self.shards[idx].lock().expect("histogram shard lock").record(value);
+    }
+
+    /// The merged distribution across every shard.
+    ///
+    /// # Panics
+    /// Panics if a shard mutex is poisoned.
+    #[must_use]
+    pub fn merged(&self) -> Histogram {
+        let mut out = self.shards[0].lock().expect("histogram shard lock").clone();
+        for shard in &self.shards[1..] {
+            out.merge(&shard.lock().expect("histogram shard lock"));
+        }
+        out
+    }
+}
+
+/// The live, named metrics surface of a long-running process — the
+/// registry `orderlight serve` snapshots on every `metrics` wire
+/// request.
+///
+/// Names are dotted (`"requests.result"`, `"timing.run_us"`); the first
+/// segment groups related metrics in the snapshot so deterministic
+/// request/cache counters and wall-clock timing distributions live in
+/// distinct, separately comparable sections. Registration (rare, at
+/// service start) takes a registry lock once and hands back an `Arc`
+/// handle; the hot path then touches only that handle — a relaxed
+/// atomic for counters/gauges, one sharded mutex for histograms.
+///
+/// # Example
+///
+/// ```
+/// use orderlight_trace::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// let hits = reg.counter("cache.hits");
+/// hits.inc();
+/// let snap = reg.snapshot_json();
+/// assert!(snap.contains("\"cache\":{\"hits\":1}"));
+/// assert!(reg.to_text().contains("orderlight_cache_hits 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<ShardedHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex is poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex is poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The sharded histogram named `name`, created with doubling edges
+    /// (`first`, `2*first`, …; `count` edges, `shards` shards) on first
+    /// use. Later calls return the existing histogram regardless of
+    /// shape arguments.
+    ///
+    /// # Panics
+    /// Panics if the registry mutex is poisoned.
+    #[must_use]
+    pub fn histogram(
+        &self,
+        name: &str,
+        shards: usize,
+        first: u64,
+        count: usize,
+    ) -> Arc<ShardedHistogram> {
+        let mut map = self.histograms.lock().expect("metrics registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(ShardedHistogram::exponential(shards, first, count))),
+        )
+    }
+
+    /// A point-in-time snapshot as a canonical JSON value: metrics
+    /// grouped by the first dotted name segment, counters/gauges as
+    /// numbers, histograms as `{count, sum, min, max, p50, p95, p99}`
+    /// objects. `BTreeMap` ordering end to end makes equal snapshots
+    /// serialise to equal bytes.
+    ///
+    /// # Panics
+    /// Panics if a registry mutex is poisoned.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn snapshot_value(&self) -> Value {
+        let mut groups: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut place = |name: &str, v: Value| {
+            let (group, key) = name.split_once('.').unwrap_or(("misc", name));
+            groups.entry(group.to_string()).or_default().insert(key.to_string(), v);
+        };
+        for (name, c) in self.counters.lock().expect("metrics registry lock").iter() {
+            place(name, Value::Num(c.get() as f64));
+        }
+        for (name, g) in self.gauges.lock().expect("metrics registry lock").iter() {
+            place(name, Value::Num(g.get() as f64));
+        }
+        for (name, h) in self.histograms.lock().expect("metrics registry lock").iter() {
+            let m = h.merged();
+            let mut obj = BTreeMap::new();
+            obj.insert("count".to_string(), Value::Num(m.total() as f64));
+            obj.insert("sum".to_string(), Value::Num(m.sum() as f64));
+            obj.insert("min".to_string(), Value::Num(m.min().unwrap_or(0) as f64));
+            obj.insert("max".to_string(), Value::Num(m.max().unwrap_or(0) as f64));
+            for (label, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                obj.insert(label.to_string(), Value::Num(m.percentile(p).unwrap_or(0) as f64));
+            }
+            place(name, Value::Obj(obj));
+        }
+        Value::Obj(groups.into_iter().map(|(g, metrics)| (g, Value::Obj(metrics))).collect())
+    }
+
+    /// [`MetricsRegistry::snapshot_value`] serialised as canonical JSON.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot_value().to_json()
+    }
+
+    /// The text exposition format: one `orderlight_<name> <value>` line
+    /// per metric, sorted, dots flattened to underscores; histograms
+    /// expand into `_count`/`_sum`/`_min`/`_max`/`_p50`/`_p95`/`_p99`
+    /// lines. The shape is Prometheus-scrapeable without requiring any
+    /// client library.
+    ///
+    /// # Panics
+    /// Panics if a registry mutex is poisoned.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let flat = |name: &str| format!("orderlight_{}", name.replace('.', "_"));
+        for (name, c) in self.counters.lock().expect("metrics registry lock").iter() {
+            lines.push(format!("{} {}", flat(name), c.get()));
+        }
+        for (name, g) in self.gauges.lock().expect("metrics registry lock").iter() {
+            lines.push(format!("{} {}", flat(name), g.get()));
+        }
+        for (name, h) in self.histograms.lock().expect("metrics registry lock").iter() {
+            let m = h.merged();
+            let base = flat(name);
+            lines.push(format!("{base}_count {}", m.total()));
+            lines.push(format!("{base}_sum {}", m.sum()));
+            lines.push(format!("{base}_min {}", m.min().unwrap_or(0)));
+            lines.push(format!("{base}_max {}", m.max().unwrap_or(0)));
+            for (label, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                lines.push(format!("{base}_{label} {}", m.percentile(p).unwrap_or(0)));
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +689,97 @@ mod tests {
         reg.set("gauge", 7.0);
         assert_eq!(reg.get("gauge"), 7.0);
         assert_eq!(reg.get("missing"), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_folds_counts_and_extremes() {
+        let mut a = Histogram::exponential(1, 8);
+        let mut b = Histogram::exponential(1, 8);
+        a.record(2);
+        a.record(100);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.sum(), 109);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(100));
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::exponential(1, 8));
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "share bucket edges")]
+    fn histogram_merge_rejects_mismatched_edges() {
+        let mut a = Histogram::exponential(1, 8);
+        a.merge(&Histogram::exponential(2, 8));
+    }
+
+    #[test]
+    fn live_counter_and_gauge_move_as_expected() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn sharded_histogram_merges_across_threads() {
+        let h = Arc::new(ShardedHistogram::exponential(4, 1, 16));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for v in 0..10 {
+                        h.record(t * 10 + v);
+                    }
+                });
+            }
+        });
+        let merged = h.merged();
+        assert_eq!(merged.total(), 80);
+        assert_eq!(merged.min(), Some(0));
+        assert_eq!(merged.max(), Some(79));
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_snapshot_groups_by_prefix() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests.result");
+        let b = reg.counter("requests.result");
+        a.add(2);
+        b.inc();
+        reg.gauge("queue.depth").set(4);
+        reg.histogram("timing.run_us", 2, 1, 16).record(12);
+        let snap = reg.snapshot_value();
+        let requests = snap.get("requests").expect("requests group");
+        assert_eq!(requests.get("result").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(
+            snap.get("queue").and_then(|q| q.get("depth")).and_then(Value::as_f64),
+            Some(4.0)
+        );
+        let run = snap.get("timing").and_then(|t| t.get("run_us")).expect("histogram entry");
+        assert_eq!(run.get("count").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(run.get("min").and_then(Value::as_f64), Some(12.0));
+        // Equal state serialises to equal bytes.
+        assert_eq!(reg.snapshot_json(), reg.snapshot_json());
+    }
+
+    #[test]
+    fn text_exposition_flattens_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("cache.hits").inc();
+        reg.histogram("timing.queue_wait_us", 1, 1, 4).record(3);
+        let text = reg.to_text();
+        assert!(text.contains("orderlight_cache_hits 1\n"), "{text}");
+        assert!(text.contains("orderlight_timing_queue_wait_us_count 1\n"), "{text}");
+        assert!(text.contains("orderlight_timing_queue_wait_us_sum 3\n"), "{text}");
     }
 }

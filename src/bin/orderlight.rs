@@ -132,7 +132,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N]\n  orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight serve [--addr HOST:PORT]\n  orderlight submit [run flags] [--budget N] --addr HOST:PORT [--out PATH]\n  orderlight submit [run flags] [--budget N] --local [--out PATH]\n  orderlight submit --addr HOST:PORT --shutdown | --stats\n  orderlight schema\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts the shared flags --jobs/-j N, --core cycle|event,\n--seed N and --ordering MODE (see `orderlight schema` for the wire surface)"
+        "usage:\n  orderlight run [--workload NAME] [--mode gpu|none|fence|orderlight|seqnum|louvre|bulk]\n                 [--ts 16|8|4|2] [--bmf N] [--data-kb N] [--credits N]\n  orderlight check [run flags] [--faults none|noc|sched|storm|all[,..]] [--mutate CH:G]\n  orderlight trace [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile [WORKLOAD] [run flags] [--out PATH] [--events N]\n  orderlight profile-verify PROFILE.json [..]\n  orderlight sweep [fig05|fig10|fig12|fig13|all] [--data-kb N]\n  orderlight compare-ordering [--workload NAME] [--data-kb N] [--out PATH]\n  orderlight bench [--quick] [--profile] [--data-kb N] [--out PATH]\n  orderlight bench --compare A.json B.json [--threshold PCT]\n  orderlight serve [--addr HOST:PORT] [--cache-max N] [--slow-ms N] [--no-telemetry]\n  orderlight submit [run flags] [--budget N] --addr HOST:PORT [--out PATH] [--span-trace PATH]\n  orderlight submit [run flags] [--budget N] --local [--out PATH]\n  orderlight submit --addr HOST:PORT --shutdown | --stats | --metrics | --metrics-text | --flightrec\n  orderlight top --addr HOST:PORT [--interval-ms N] [--count N | --once]\n  orderlight schema\n  orderlight list\n  orderlight taxonomy\nevery subcommand accepts the shared flags --jobs/-j N, --core cycle|event,\n--seed N and --ordering MODE (see `orderlight schema` for the wire surface)"
     );
     ExitCode::from(2)
 }
@@ -1658,22 +1658,38 @@ fn cmd_schema() -> ExitCode {
 /// `{"cmd": "shutdown"}`.
 fn cmd_serve(args: &[String], common: &CommonFlags) -> ExitCode {
     let mut addr = "127.0.0.1:0".to_string();
+    let mut cache_max: usize = 0;
+    let mut slow_ms: Option<u64> = None;
+    let mut telemetry = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        match (flag.as_str(), it.next()) {
-            ("--addr", Some(value)) => addr.clone_from(value),
-            ("--addr", None) => {
-                eprintln!("missing value for {flag}");
-                return usage();
+        if flag == "--no-telemetry" {
+            telemetry = false;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--addr" => {
+                addr.clone_from(value);
+                true
             }
+            "--cache-max" => value.parse().map(|v| cache_max = v).is_ok(),
+            "--slow-ms" => value.parse().map(|v| slow_ms = Some(v)).is_ok(),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return usage();
             }
+        };
+        if !ok {
+            eprintln!("invalid value for {flag}");
+            return usage();
         }
     }
     let server = match Server::bind(&addr, common.jobs) {
-        Ok(s) => s,
+        Ok(s) => s.with_cache_max(cache_max).with_slow_ms(slow_ms).with_telemetry(telemetry),
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
@@ -1703,9 +1719,11 @@ fn cmd_serve(args: &[String], common: &CommonFlags) -> ExitCode {
 /// canonical stats JSON — byte-identical between a served reply and a
 /// local run, which is what the `ci.sh` smoke gate `cmp`s.
 fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
+    use orderlight_suite::trace::json;
     let mut opts = RunOpts::with_common(common);
     let mut addr: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut span_trace: Option<String> = None;
     let mut budget: Option<u64> = None;
     let mut local = false;
     let mut admin: Option<&str> = None;
@@ -1724,6 +1742,18 @@ fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
                 admin = Some("stats");
                 true
             }
+            "--metrics" => {
+                admin = Some("metrics");
+                true
+            }
+            "--metrics-text" => {
+                admin = Some("metrics-text");
+                true
+            }
+            "--flightrec" => {
+                admin = Some("flightrec");
+                true
+            }
             _ => {
                 let Some(value) = it.next() else {
                     eprintln!("missing value for {flag}");
@@ -1736,6 +1766,10 @@ fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
                     }
                     "--out" | "-o" => {
                         out = Some(value.clone());
+                        true
+                    }
+                    "--span-trace" => {
+                        span_trace = Some(value.clone());
                         true
                     }
                     "--budget" => value.parse().map(|v| budget = Some(v)).is_ok(),
@@ -1773,6 +1807,7 @@ fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
             return usage();
         };
         let line = match admin {
+            Some("metrics-text") => r#"{"cmd":"metrics","format":"text"}"#.to_string(),
             Some(cmd) => format!("{{\"cmd\":\"{cmd}\"}}"),
             None => spec.to_value().to_json(),
         };
@@ -1783,15 +1818,41 @@ fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for reply in &replies {
-            println!("{reply}");
-        }
         let Some(last) = replies.last() else {
             eprintln!("server closed the connection without a reply");
             return ExitCode::FAILURE;
         };
+        // The exposition format is a document, not a JSON line: unwrap
+        // it so the output is directly scrapeable.
+        if admin == Some("metrics-text") {
+            let text = json::parse(last)
+                .ok()
+                .and_then(|d| d.get("text").and_then(json::Value::as_str).map(ToString::to_string));
+            match text {
+                Some(text) => print!("{text}"),
+                None => {
+                    eprintln!("no text exposition in reply: {last}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+        for reply in &replies {
+            println!("{reply}");
+        }
+        if admin == Some("stats") {
+            if let Ok(doc) = json::parse(last) {
+                print_stats_summary(&doc);
+            }
+        }
         if admin.is_some() {
             return ExitCode::SUCCESS;
+        }
+        if let Some(path) = &span_trace {
+            if let Err(e) = write_span_trace(path, last) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         match service::extract_stats(last) {
             Some(json) => json,
@@ -1812,6 +1873,203 @@ fn cmd_submit(args: &[String], common: &CommonFlags) -> ExitCode {
         println!("{stats_json}");
     }
     ExitCode::SUCCESS
+}
+
+/// The human-readable cache line printed under `submit --stats`.
+fn print_stats_summary(doc: &orderlight_suite::trace::json::Value) {
+    use orderlight_suite::trace::json::Value;
+    let f = |k: &str| doc.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let max =
+        if f("cache_max") == 0.0 { "unbounded".to_string() } else { format!("{}", f("cache_max")) };
+    println!(
+        "cache: {} scenarios (max {max}), hit ratio {:.2} ({} hits / {} misses), {} insertions, {} evictions",
+        f("cache_size"),
+        f("hit_ratio"),
+        f("hits"),
+        f("misses"),
+        f("insertions"),
+        f("evictions"),
+    );
+}
+
+/// Folds the `span` phases of a result reply into a Chrome trace-event
+/// document (`--span-trace`), composable with `orderlight trace`
+/// output for the same scenario.
+fn write_span_trace(path: &str, result_line: &str) -> Result<(), String> {
+    use orderlight_suite::trace::{json, spans_to_chrome, SpanPhases};
+    let doc = json::parse(result_line).map_err(|e| e.to_string())?;
+    let span = doc
+        .get("span")
+        .and_then(SpanPhases::from_value)
+        .ok_or("no span in the result reply (server telemetry disabled?)")?;
+    let cached = doc.get("cached").and_then(json::Value::as_bool).unwrap_or(false);
+    let label = if cached { "request (cache hit)" } else { "request (cache miss)" };
+    let chrome = spans_to_chrome(&[(label.to_string(), span)]);
+    std::fs::write(path, chrome).map_err(|e| e.to_string())
+}
+
+/// Fetches the terminal reply of one admin command, parsed.
+fn fetch_admin(addr: &str, line: &str) -> Result<orderlight_suite::trace::json::Value, String> {
+    use orderlight_suite::trace::json;
+    let replies = service::request(addr, line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let last = replies.last().ok_or("server closed the connection without a reply")?;
+    let doc = json::parse(last).map_err(|e| e.to_string())?;
+    if doc.get("reply").and_then(json::Value::as_str) == Some("error") {
+        return Err(format!("server error: {last}"));
+    }
+    Ok(doc)
+}
+
+/// `orderlight top`: polls a daemon's `stats`/`metrics`/`flightrec`
+/// surfaces and renders a live one-screen summary.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut count: u64 = 0; // 0 = until interrupted
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--once" {
+            count = 1;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--addr" => {
+                addr = Some(value.clone());
+                true
+            }
+            "--interval-ms" => value.parse().map(|v| interval_ms = v).is_ok(),
+            "--count" => value.parse().map(|v| count = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("invalid value for {flag}");
+            return usage();
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("top needs --addr HOST:PORT");
+        return usage();
+    };
+    let mut screens = 0u64;
+    loop {
+        let fetched = fetch_admin(&addr, r#"{"cmd":"stats"}"#).and_then(|stats| {
+            let metrics = fetch_admin(&addr, r#"{"cmd":"metrics"}"#)?;
+            let flight = fetch_admin(&addr, r#"{"cmd":"flightrec"}"#)?;
+            Ok((stats, metrics, flight))
+        });
+        let (stats, metrics, flight) = match fetched {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if count != 1 {
+            // Repaint in place on live refresh; keep output plain for
+            // a single snapshot so it stays pipeable.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&addr, &stats, &metrics, &flight));
+        screens += 1;
+        if count > 0 && screens >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One screen of daemon state from the three admin replies.
+fn render_top(
+    addr: &str,
+    stats: &orderlight_suite::trace::json::Value,
+    metrics: &orderlight_suite::trace::json::Value,
+    flight: &orderlight_suite::trace::json::Value,
+) -> String {
+    use orderlight_suite::trace::json::Value;
+    use std::fmt::Write as _;
+    let snap = metrics.get("snapshot");
+    let m = |group: &str, key: &str| -> f64 {
+        snap.and_then(|s| s.get(group))
+            .and_then(|g| g.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let hist = |group: &str, key: &str, q: &str| -> f64 {
+        snap.and_then(|s| s.get(group))
+            .and_then(|g| g.get(key))
+            .and_then(|h| h.get(q))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let s = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "orderlight serve @ {addr}");
+    let _ = writeln!(
+        out,
+        "requests  received {:>6}  accepted {:>6}  running {:>6}  result {:>6}  error {:>6}",
+        m("requests", "received"),
+        m("requests", "accepted"),
+        m("requests", "running"),
+        m("requests", "result"),
+        m("requests", "error"),
+    );
+    let max = if s("cache_max") == 0.0 { "inf".to_string() } else { format!("{}", s("cache_max")) };
+    let _ = writeln!(
+        out,
+        "cache     size {}/{max}  hits {}  misses {}  ratio {:.2}  insertions {}  evictions {}",
+        m("cache", "size"),
+        m("cache", "hits"),
+        m("cache", "misses"),
+        s("hit_ratio"),
+        m("cache", "insertions"),
+        m("cache", "evictions"),
+    );
+    let _ = writeln!(
+        out,
+        "queue     depth {}  wait p50 {}us  p95 {}us",
+        m("queue", "depth"),
+        hist("timing", "queue_wait_us", "p50"),
+        hist("timing", "queue_wait_us", "p95"),
+    );
+    let _ = writeln!(
+        out,
+        "workers   busy {}  jobs {}  busy_us {}  idle_us {}",
+        m("workers", "busy"),
+        m("workers", "jobs"),
+        m("workers", "busy_us"),
+        m("workers", "idle_us"),
+    );
+    let _ = writeln!(
+        out,
+        "io        bytes_in {}  bytes_out {}",
+        m("io", "bytes_in"),
+        m("io", "bytes_out"),
+    );
+    let slo = stats.get("slo");
+    let p = |k: &str| slo.and_then(|s| s.get(k)).and_then(Value::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "latency   p50 {}us  p95 {}us  p99 {}us", p("p50"), p("p95"), p("p99"));
+    let _ = writeln!(out, "recent requests:");
+    let _ = writeln!(out, "  {:>5}  {:<14}  {:>12}  scenario", "seq", "outcome", "latency_us");
+    let empty = Vec::new();
+    let requests = flight.get("requests").and_then(Value::as_array).unwrap_or(&empty);
+    for r in requests.iter().rev().take(10) {
+        let _ = writeln!(
+            out,
+            "  {:>5}  {:<14}  {:>12}  {}",
+            r.get("seq").and_then(Value::as_f64).unwrap_or(0.0),
+            r.get("outcome").and_then(Value::as_str).unwrap_or("?"),
+            r.get("latency_us").and_then(Value::as_f64).unwrap_or(0.0),
+            r.get("scenario_hash").and_then(Value::as_str).unwrap_or("-"),
+        );
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -1838,6 +2096,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..], &common),
         Some("serve") => cmd_serve(&args[1..], &common),
         Some("submit") => cmd_submit(&args[1..], &common),
+        Some("top") => cmd_top(&args[1..]),
         Some("schema") => cmd_schema(),
         Some("list") => cmd_list(),
         Some("taxonomy") => cmd_taxonomy(),

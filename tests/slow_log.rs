@@ -1,0 +1,72 @@
+//! The slow-request log: a served request whose run phase exceeds
+//! `--slow-ms` emits one canonical-JSON record to the daemon's stderr
+//! with the scenario hash and full phase breakdown. Exercised against
+//! the real `orderlight` binary so the test observes the actual stderr
+//! stream, with a deliberately large fig10-shaped point (the Triad
+//! stream kernel at a big footprint) and a zero threshold so the run
+//! phase always qualifies.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Command, Stdio};
+
+use orderlight_suite::sim::schema::SCENARIO_SCHEMA_V1;
+use orderlight_suite::sim::service::{reply_kind, request};
+use orderlight_suite::trace::json;
+
+#[test]
+fn slow_requests_log_a_canonical_json_record_to_stderr() {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_orderlight"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--slow-ms", "0", "--jobs", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn orderlight serve");
+
+    // The daemon prints `listening on HOST:PORT (...)` before the
+    // first accept.
+    let stdout = daemon.stdout.take().expect("daemon stdout");
+    let mut banner = String::new();
+    BufReader::new(stdout).read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(2)
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    // A deliberately large fig10 point: the Triad stream kernel at a
+    // 512 KiB/channel footprint under OrderLight.
+    let line =
+        format!(r#"{{"schema": "{SCENARIO_SCHEMA_V1}", "workload": "Triad", "data_kb": 512}}"#);
+    let replies = request(&addr, &line).expect("request round-trips");
+    let last = replies.last().expect("terminal reply");
+    assert_eq!(reply_kind(last).as_deref(), Some("result"));
+    let result = json::parse(last).expect("result parses");
+    let span = result.get("span").expect("span rides the result");
+
+    let bye = request(&addr, r#"{"cmd": "shutdown"}"#).expect("shutdown");
+    assert_eq!(reply_kind(bye.last().expect("bye")).as_deref(), Some("bye"));
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exits cleanly");
+
+    let mut stderr = String::new();
+    daemon.stderr.take().expect("daemon stderr").read_to_string(&mut stderr).expect("read stderr");
+    let record = stderr
+        .lines()
+        .find(|l| l.contains("\"event\":\"slow_request\""))
+        .unwrap_or_else(|| panic!("no slow_request record on stderr: {stderr:?}"));
+    let doc = json::parse(record).expect("slow log line is valid JSON");
+    assert_eq!(doc.to_json(), record, "slow log line is canonical JSON");
+    let hash = doc.get("scenario_hash").and_then(json::Value::as_str).expect("scenario hash");
+    assert!(hash.starts_with("0x") && hash.len() == 18, "canonical hash format: {hash}");
+    let phases = doc.get("phases").expect("phase breakdown");
+    for phase in ["parse_us", "queue_us", "run_us", "serialize_us", "write_us"] {
+        assert!(phases.get(phase).and_then(json::Value::as_f64).is_some(), "{phase} present");
+    }
+    // The logged run phase matches the span the client saw.
+    assert_eq!(
+        doc.get("run_us").and_then(json::Value::as_f64),
+        span.get("run_us").and_then(json::Value::as_f64),
+        "logged run phase matches the reply span"
+    );
+    assert_eq!(doc.get("threshold_us").and_then(json::Value::as_f64), Some(0.0));
+}
